@@ -1,0 +1,208 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (§6). Each figure benchmark regenerates its table from a shared
+// measurement suite (computed once) and reports the headline numbers as
+// benchmark metrics; `go test -bench . -benchtime 1x` prints every table via
+// -v logging. Protocol-level microbenchmarks live in the internal packages.
+package hmtx_test
+
+import (
+	"sync"
+	"testing"
+
+	"hmtx/internal/engine"
+	"hmtx/internal/experiments"
+	"hmtx/internal/hmtx"
+	"hmtx/internal/paradigm"
+	"hmtx/internal/smtx"
+	"hmtx/internal/stats"
+	"hmtx/internal/workloads"
+)
+
+var (
+	suiteOnce    sync.Once
+	suiteResults []experiments.BenchResult
+)
+
+// suite runs the full measurement suite (8 benchmarks x {sequential, HMTX,
+// SMTX-min, SMTX-max}) once and caches it for every figure benchmark.
+func suite(b *testing.B) []experiments.BenchResult {
+	b.Helper()
+	suiteOnce.Do(func() {
+		suiteResults = experiments.RunAll(experiments.Default(), nil)
+	})
+	return suiteResults
+}
+
+// BenchmarkFig1Paradigms regenerates Figure 1: the linked-list loop under
+// Sequential, DOACROSS, DSWP and PS-DSWP execution.
+func BenchmarkFig1Paradigms(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = experiments.Fig1(4)
+	}
+	b.Log("\n" + out)
+}
+
+// BenchmarkFig2SMTXValidation regenerates Figure 2: SMTX whole-program
+// speedup with minimal vs substantial read/write sets.
+func BenchmarkFig2SMTXValidation(b *testing.B) {
+	rs := suite(b)
+	b.ResetTimer()
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = experiments.Fig2(rs)
+	}
+	b.Log("\n" + out)
+	var mins, maxs []float64
+	for i := range rs {
+		if rs[i].Spec.HasSMTX {
+			mins = append(mins, rs[i].WholeProgram(rs[i].HotSpeedupSMTX(smtx.MinSet)))
+			maxs = append(maxs, rs[i].WholeProgram(rs[i].HotSpeedupSMTX(smtx.MaxSet)))
+		}
+	}
+	b.ReportMetric(stats.Geomean(mins), "geomean-min-x")
+	b.ReportMetric(stats.Geomean(maxs), "geomean-max-x")
+}
+
+// BenchmarkTable1Stats regenerates Table 1: per-benchmark speculative
+// execution statistics under HMTX.
+func BenchmarkTable1Stats(b *testing.B) {
+	rs := suite(b)
+	b.ResetTimer()
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = experiments.Table1(rs)
+	}
+	b.Log("\n" + out)
+}
+
+// BenchmarkTable2Config regenerates Table 2: the architectural
+// configuration.
+func BenchmarkTable2Config(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = experiments.Table2(experiments.Default())
+	}
+	b.Log("\n" + out)
+}
+
+// BenchmarkFig8Speedup regenerates Figure 8: hot-loop speedup over
+// sequential on 4 cores, SMTX minimal sets vs HMTX maximal sets. The paper
+// reports a geomean of 1.99x for HMTX across all 8 benchmarks.
+func BenchmarkFig8Speedup(b *testing.B) {
+	rs := suite(b)
+	b.ResetTimer()
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = experiments.Fig8(rs)
+	}
+	b.Log("\n" + out)
+	var all, comp, smtxMin []float64
+	for i := range rs {
+		all = append(all, rs[i].HotSpeedupHMTX())
+		if rs[i].Spec.HasSMTX {
+			comp = append(comp, rs[i].HotSpeedupHMTX())
+			smtxMin = append(smtxMin, rs[i].HotSpeedupSMTX(smtx.MinSet))
+		}
+	}
+	b.ReportMetric(stats.Geomean(all), "hmtx-geomean-all-x")
+	b.ReportMetric(stats.Geomean(comp), "hmtx-geomean-comp-x")
+	b.ReportMetric(stats.Geomean(smtxMin), "smtx-geomean-comp-x")
+}
+
+// BenchmarkFig9SetSizes regenerates Figure 9: average read/write set sizes
+// per transaction.
+func BenchmarkFig9SetSizes(b *testing.B) {
+	rs := suite(b)
+	b.ResetTimer()
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = experiments.Fig9(rs)
+	}
+	b.Log("\n" + out)
+	var combined []float64
+	for i := range rs {
+		if rs[i].HMTXEng.Txs > 0 {
+			combined = append(combined,
+				float64(rs[i].HMTXEng.ReadSetBytes+rs[i].HMTXEng.WriteSetBytes)/float64(rs[i].HMTXEng.Txs)/1024)
+		}
+	}
+	b.ReportMetric(stats.Geomean(combined), "geomean-combined-kB")
+}
+
+// BenchmarkTable3Power regenerates Table 3: area, power and energy of the
+// commodity machine vs the machine with HMTX extensions.
+func BenchmarkTable3Power(b *testing.B) {
+	rs := suite(b)
+	b.ResetTimer()
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = experiments.Table3(experiments.Default(), rs)
+	}
+	b.Log("\n" + out)
+}
+
+// --- Design-choice ablations (DESIGN.md §7) ----------------------------------
+
+// BenchmarkAblationSLA measures the cost of disabling speculative load
+// acknowledgments (§5.1) on the most misprediction-heavy benchmark.
+func BenchmarkAblationSLA(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = experiments.AblationSLA(experiments.Default())
+	}
+	b.Log("\n" + out)
+}
+
+// BenchmarkAblationVIDWidth sweeps the hardware VID width (§4.6).
+func BenchmarkAblationVIDWidth(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = experiments.AblationVIDWidth(experiments.Default())
+	}
+	b.Log("\n" + out)
+}
+
+// BenchmarkAblationLazyCommit contrasts lazy (§5.3) and eager (§4.4) commit
+// processing.
+func BenchmarkAblationLazyCommit(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = experiments.AblationLazyCommit(experiments.Default())
+	}
+	b.Log("\n" + out)
+}
+
+// BenchmarkAblationScaling sweeps the core count (§8 future work).
+func BenchmarkAblationScaling(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = experiments.AblationScaling(experiments.Default())
+	}
+	b.Log("\n" + out)
+}
+
+// --- End-to-end per-benchmark benchmarks -------------------------------------
+
+// BenchmarkHMTX runs each benchmark under HMTX and reports its speedup.
+func BenchmarkHMTX(b *testing.B) {
+	for _, spec := range workloads.All() {
+		spec := spec
+		b.Run(spec.Name, func(b *testing.B) {
+			var speedup float64
+			for i := 0; i < b.N; i++ {
+				seqSys := engine.New(engine.DefaultConfig())
+				loop := spec.New(1)
+				loop.Setup(seqSys.Mem)
+				seq := paradigm.RunSequential(seqSys, loop)
+
+				sys := engine.New(engine.DefaultConfig())
+				loop = spec.New(1)
+				loop.Setup(sys.Mem)
+				out := hmtx.Run(sys, loop, spec.Paradigm, 4)
+				speedup = float64(seq) / float64(out.Cycles)
+			}
+			b.ReportMetric(speedup, "speedup-x")
+		})
+	}
+}

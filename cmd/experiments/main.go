@@ -1,0 +1,78 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation (§6) on the simulated 4-core HMTX machine.
+//
+// Usage:
+//
+//	experiments [-scale N] [-cores N] [-only fig8,table1,...] [-ablations]
+//
+// With no -only list it runs everything: Figure 1, Figure 2, Table 1,
+// Table 2, Figure 8, Figure 9 and Table 3, plus the design-choice ablations
+// when -ablations is set.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"hmtx/internal/experiments"
+)
+
+func main() {
+	scale := flag.Int("scale", 1, "iteration-count multiplier for every benchmark")
+	cores := flag.Int("cores", 4, "number of simulated cores")
+	only := flag.String("only", "", "comma-separated subset: fig1,fig2,fig8,fig9,table1,table2,table3")
+	ablations := flag.Bool("ablations", false, "also run the design-choice ablations")
+	quiet := flag.Bool("q", false, "suppress progress output")
+	flag.Parse()
+
+	cfg := experiments.Config{Scale: *scale, Cores: *cores}
+	want := map[string]bool{}
+	for _, k := range strings.Split(*only, ",") {
+		if k = strings.TrimSpace(k); k != "" {
+			want[k] = true
+		}
+	}
+	pick := func(k string) bool { return len(want) == 0 || want[k] }
+
+	if pick("table2") {
+		fmt.Println(experiments.Table2(cfg))
+	}
+	if pick("fig1") {
+		fmt.Println(experiments.Fig1(*cores))
+	}
+
+	needSuite := pick("fig2") || pick("fig8") || pick("fig9") || pick("table1") || pick("table3")
+	if needSuite {
+		var progress io.Writer = os.Stderr
+		if *quiet {
+			progress = nil
+		}
+		results := experiments.RunAll(cfg, progress)
+		if pick("table1") {
+			fmt.Println(experiments.Table1(results))
+		}
+		if pick("fig2") {
+			fmt.Println(experiments.Fig2(results))
+		}
+		if pick("fig8") {
+			fmt.Println(experiments.Fig8(results))
+		}
+		if pick("fig9") {
+			fmt.Println(experiments.Fig9(results))
+		}
+		if pick("table3") {
+			fmt.Println(experiments.Table3(cfg, results))
+		}
+	}
+
+	if *ablations {
+		fmt.Println(experiments.AblationSLA(cfg))
+		fmt.Println(experiments.AblationVIDWidth(cfg))
+		fmt.Println(experiments.AblationLazyCommit(cfg))
+		fmt.Println(experiments.AblationScaling(cfg))
+		fmt.Println(experiments.Paradigms(cfg))
+	}
+}

@@ -1,0 +1,131 @@
+// Command hmtxsim runs one benchmark on the simulated HMTX machine and
+// prints its timing and speculative-execution statistics.
+//
+// Usage:
+//
+//	hmtxsim -bench 164.gzip [-system hmtx|smtx-min|smtx-max|seq]
+//	        [-paradigm auto|doall|doacross|dswp|psdswp]
+//	        [-cores 4] [-scale 1] [-no-sla] [-vid-bits 6] [-eager-commit]
+//
+// hmtxsim -list prints the available benchmarks.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"hmtx/internal/engine"
+	"hmtx/internal/hmtx"
+	"hmtx/internal/paradigm"
+	"hmtx/internal/smtx"
+	"hmtx/internal/vid"
+	"hmtx/internal/workloads"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hmtxsim: ")
+	bench := flag.String("bench", "", "benchmark name (see -list)")
+	system := flag.String("system", "hmtx", "execution system: hmtx, smtx-min, smtx-max, seq")
+	par := flag.String("paradigm", "auto", "paradigm: auto, doall, doacross, dswp, psdswp")
+	cores := flag.Int("cores", 4, "number of simulated cores")
+	scale := flag.Int("scale", 1, "iteration-count multiplier")
+	noSLA := flag.Bool("no-sla", false, "disable speculative load acknowledgments (§5.1)")
+	vidBits := flag.Uint("vid-bits", 6, "hardware VID width in bits (§4.6)")
+	eager := flag.Bool("eager-commit", false, "use eager commit sweeps instead of lazy commits (§5.3)")
+	list := flag.Bool("list", false, "list benchmarks and exit")
+	flag.Parse()
+
+	if *list {
+		for _, s := range workloads.All() {
+			smtxNote := ""
+			if s.HasSMTX {
+				smtxNote = " (SMTX comparison available)"
+			}
+			fmt.Printf("%-12s %v%s\n", s.Name, s.Paradigm, smtxNote)
+		}
+		return
+	}
+	if *bench == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	spec, err := workloads.ByName(*bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	kind := spec.Paradigm
+	switch *par {
+	case "auto":
+	case "doall":
+		kind = paradigm.DOALL
+	case "doacross":
+		kind = paradigm.DOACROSS
+	case "dswp":
+		kind = paradigm.DSWP
+	case "psdswp":
+		kind = paradigm.PSDSWP
+	default:
+		log.Fatalf("unknown paradigm %q", *par)
+	}
+
+	cfg := engine.DefaultConfig()
+	cfg.Mem.Cores = *cores
+	cfg.Mem.SLAEnabled = !*noSLA
+	cfg.Mem.VIDSpace = vid.Space{Bits: *vidBits}
+	cfg.Mem.EagerCommit = *eager
+
+	// Sequential reference for the speedup.
+	seqSys := engine.New(cfg)
+	loop := spec.New(*scale)
+	loop.Setup(seqSys.Mem)
+	seqCycles := paradigm.RunSequential(seqSys, loop)
+
+	sys := engine.New(cfg)
+	loop = spec.New(*scale)
+	loop.Setup(sys.Mem)
+
+	var out hmtx.Outcome
+	switch *system {
+	case "seq":
+		out = hmtx.Outcome{Cycles: seqCycles, Iterations: loop.Iters(), Runs: 1}
+	case "hmtx":
+		out = hmtx.Run(sys, loop, kind, *cores)
+	case "smtx-min":
+		out = smtx.Run(sys, loop, kind, *cores, smtx.MinSet, smtx.DefaultConfig())
+	case "smtx-max":
+		out = smtx.Run(sys, loop, kind, *cores, smtx.MaxSet, smtx.DefaultConfig())
+	default:
+		log.Fatalf("unknown system %q", *system)
+	}
+
+	fmt.Printf("benchmark:        %s (%v, %d iterations)\n", spec.Name, kind, out.Iterations)
+	fmt.Printf("system:           %s on %d cores\n", *system, *cores)
+	fmt.Printf("cycles:           %d (sequential: %d)\n", out.Cycles, seqCycles)
+	fmt.Printf("hot-loop speedup: %.2fx\n", float64(seqCycles)/float64(out.Cycles))
+	fmt.Printf("aborts:           %d (recovery runs: %d)\n", out.Aborts, out.Runs)
+
+	if *system != "seq" {
+		es, ms := sys.Stats(), sys.Mem.Stats()
+		fmt.Printf("instructions:     %d (%d branches, %d mispredicted)\n",
+			es.Instructions, es.Branches, es.Mispredicts)
+		if es.Txs > 0 {
+			fmt.Printf("transactions:     %d committed, %.0f spec accesses/tx\n",
+				es.Txs, float64(es.SpecAccesses)/float64(es.Txs))
+			fmt.Printf("read/write sets:  %.1f kB / %.1f kB per tx (max combined %.1f kB)\n",
+				float64(es.ReadSetBytes/es.Txs)/1024,
+				float64(es.WriteSetBytes/es.Txs)/1024,
+				float64(es.MaxCombinedBytes)/1024)
+		}
+		fmt.Printf("memory system:    %d L1 hits, %d peer transfers, %d L2 hits, %d mem reads\n",
+			ms.L1Hits, ms.PeerTransfers, ms.L2Hits, ms.MemReads)
+		fmt.Printf("speculation:      %d spec loads, %d spec stores, %d versions created\n",
+			ms.SpecLoads, ms.SpecStores, ms.VersionsCreated)
+		fmt.Printf("SLAs:             %d sent, %d false misspeculations avoided\n",
+			ms.SLAsSent, ms.AvoidedAborts)
+		fmt.Printf("VID resets:       %d\n", ms.VIDResets)
+	}
+}

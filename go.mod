@@ -1,0 +1,3 @@
+module hmtx
+
+go 1.22

@@ -1,0 +1,417 @@
+package engine
+
+import (
+	"testing"
+
+	"hmtx/internal/memsys"
+	"hmtx/internal/vid"
+)
+
+func newSys() *System { return New(DefaultConfig()) }
+
+func TestSingleCoreRoundTrip(t *testing.T) {
+	s := newSys()
+	var got uint64
+	res := s.Run([]Program{func(e *Env) {
+		e.Store(0x1000, 42)
+		e.Compute(10)
+		got = e.Load(0x1000)
+	}})
+	if got != 42 {
+		t.Fatalf("load = %d, want 42", got)
+	}
+	if res.Aborted {
+		t.Fatalf("unexpected abort: %s", res.Cause)
+	}
+	if res.Cycles <= 10 {
+		t.Fatalf("cycles = %d, want > 10", res.Cycles)
+	}
+}
+
+func TestComputeAccountsCycles(t *testing.T) {
+	s := newSys()
+	res := s.Run([]Program{func(e *Env) { e.Compute(1000) }})
+	if res.Cycles < 1000 {
+		t.Fatalf("cycles = %d, want >= 1000", res.Cycles)
+	}
+	if s.Stats().Instructions < 1000 {
+		t.Fatalf("instructions = %d, want >= 1000", s.Stats().Instructions)
+	}
+}
+
+// TestDSWPTwoStagePipeline runs the Figure 3 pattern: stage 1 walks a linked
+// list speculatively and forwards each node through versioned memory; stage
+// 2 processes and commits each transaction.
+func TestDSWPTwoStagePipeline(t *testing.T) {
+	s := newSys()
+	const (
+		listBase = memsys.Addr(0x10000)
+		produced = memsys.Addr(0x800)
+		sumAddr  = memsys.Addr(0x900)
+		n        = 20
+		qVID     = 1
+	)
+	// Build a linked list in simulated memory: node i at listBase+i*64,
+	// word 0 = value, word 8 = next pointer.
+	for i := 0; i < n; i++ {
+		node := listBase + memsys.Addr(i)*memsys.LineSize
+		s.Mem.PokeWord(node, uint64(i+1))
+		next := node + memsys.LineSize
+		if i == n-1 {
+			next = 0
+		}
+		s.Mem.PokeWord(node+8, next)
+	}
+
+	stage1 := func(e *Env) {
+		node := uint64(listBase)
+		seq := vid.Seq(1)
+		for node != 0 {
+			e.Begin(seq)
+			e.Store(produced, node)
+			node = e.Load(memsys.Addr(node) + 8)
+			e.Begin(0)
+			e.Produce(qVID, uint64(seq))
+			seq++
+		}
+		e.CloseQueue(qVID)
+	}
+	stage2 := func(e *Env) {
+		for {
+			v, ok := e.Consume(qVID)
+			if !ok {
+				return
+			}
+			seq := vid.Seq(v)
+			e.Begin(seq)
+			node := e.Load(produced)
+			val := e.Load(memsys.Addr(node))
+			sum := e.Load(sumAddr)
+			e.Store(sumAddr, sum+val)
+			e.Commit(seq)
+		}
+	}
+	res := s.Run([]Program{stage1, stage2})
+	if res.Aborted {
+		t.Fatalf("pipeline aborted: %s", res.Cause)
+	}
+	want := uint64(n * (n + 1) / 2)
+	if got := s.Mem.PeekWord(sumAddr); got != want {
+		t.Fatalf("sum = %d, want %d", got, want)
+	}
+	if s.Stats().Txs != n {
+		t.Fatalf("committed txs = %d, want %d", s.Stats().Txs, n)
+	}
+	if res.LastCommitted != vid.Seq(n) {
+		t.Fatalf("last committed = %d, want %d", res.LastCommitted, n)
+	}
+}
+
+// TestCommitOrdering verifies commitMTX blocks until the predecessor commits
+// (§4.7) even when issued out of order by different cores.
+func TestCommitOrdering(t *testing.T) {
+	s := newSys()
+	var order []vid.Seq
+	p1 := func(e *Env) {
+		e.Begin(2)
+		e.Store(0x100, 2)
+		e.Compute(1) // tx 2 is ready to commit almost immediately
+		e.Commit(2)
+		order = append(order, 2)
+	}
+	p2 := func(e *Env) {
+		e.Begin(1)
+		e.Store(0x200, 1)
+		e.Compute(100000) // tx 1 takes much longer
+		e.Commit(1)
+		order = append(order, 1)
+	}
+	res := s.Run([]Program{p1, p2})
+	if res.Aborted {
+		t.Fatalf("aborted: %s", res.Cause)
+	}
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("commit order = %v, want [1 2]", order)
+	}
+}
+
+func TestQueueCloseAndDrain(t *testing.T) {
+	s := newSys()
+	var got []uint64
+	prod := func(e *Env) {
+		for i := uint64(1); i <= 5; i++ {
+			e.Produce(7, i)
+		}
+		e.CloseQueue(7)
+	}
+	cons := func(e *Env) {
+		for {
+			v, ok := e.Consume(7)
+			if !ok {
+				return
+			}
+			got = append(got, v)
+		}
+	}
+	s.Run([]Program{prod, cons})
+	if len(got) != 5 || got[0] != 1 || got[4] != 5 {
+		t.Fatalf("consumed %v, want [1..5]", got)
+	}
+}
+
+func TestQueueCapacityBoundsPipelineDepth(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.QueueCap = 2
+	s := New(cfg)
+	maxOutstanding := 0
+	produced, consumed := 0, 0
+	prod := func(e *Env) {
+		for i := 0; i < 20; i++ {
+			e.Produce(1, uint64(i))
+			produced++
+			if d := produced - consumed; d > maxOutstanding {
+				maxOutstanding = d
+			}
+		}
+		e.CloseQueue(1)
+	}
+	cons := func(e *Env) {
+		for {
+			_, ok := e.Consume(1)
+			if !ok {
+				return
+			}
+			consumed++
+			e.Compute(10000)
+		}
+	}
+	s.Run([]Program{prod, cons})
+	if maxOutstanding > cfg.QueueCap+1 {
+		t.Fatalf("outstanding items reached %d, queue capacity %d", maxOutstanding, cfg.QueueCap)
+	}
+}
+
+// TestVIDResetStall pushes more transactions through than the 6-bit VID
+// space holds; the engine must stall and reset the VID space (§4.6).
+func TestVIDResetStall(t *testing.T) {
+	s := newSys()
+	const n = 150 // > 2*63 transactions: at least two resets
+	p := func(e *Env) {
+		for i := 1; i <= n; i++ {
+			seq := vid.Seq(i)
+			e.Begin(seq)
+			e.Store(0x1000, uint64(i))
+			e.Commit(seq)
+		}
+	}
+	res := s.Run([]Program{p})
+	if res.Aborted {
+		t.Fatalf("aborted: %s", res.Cause)
+	}
+	if got := s.Mem.Stats().VIDResets; got < 2 {
+		t.Fatalf("VIDResets = %d, want >= 2", got)
+	}
+	if got := s.Mem.PeekWord(0x1000); got != n {
+		t.Fatalf("final value = %d, want %d", got, n)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() int64 {
+		s := newSys()
+		prog := func(e *Env) {
+			for i := 0; i < 200; i++ {
+				seq := vid.Seq(i + 1)
+				e.Begin(seq)
+				e.Load(memsys.Addr(0x1000 + i*8%512))
+				e.Store(memsys.Addr(0x2000+i*64), uint64(i))
+				e.Branch(1, i%3 == 0)
+				e.Commit(seq)
+			}
+		}
+		return s.Run([]Program{prog}).Cycles
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("non-deterministic: %d vs %d cycles", a, b)
+	}
+}
+
+func TestExplicitAbortRollsBack(t *testing.T) {
+	s := newSys()
+	reached := false
+	res := s.Run([]Program{func(e *Env) {
+		e.Begin(1)
+		e.Store(0x100, 99)
+		e.Commit(1)
+		e.Begin(2)
+		e.Store(0x100, 123)
+		e.Abort(2) // control-flow misspeculation detected in software
+		reached = true
+	}})
+	if !res.Aborted {
+		t.Fatal("run should report abort")
+	}
+	if reached {
+		t.Fatal("program continued past Abort")
+	}
+	if res.LastCommitted != 1 {
+		t.Fatalf("last committed = %d, want 1", res.LastCommitted)
+	}
+	if got := s.Mem.PeekWord(0x100); got != 99 {
+		t.Fatalf("memory = %d, want committed 99", got)
+	}
+	// The system is reusable: re-execute the aborted transaction.
+	res = s.Run([]Program{func(e *Env) {
+		e.Begin(2)
+		e.Store(0x100, 124)
+		e.Commit(2)
+	}})
+	if res.Aborted {
+		t.Fatalf("re-execution aborted: %s", res.Cause)
+	}
+	if got := s.Mem.PeekWord(0x100); got != 124 {
+		t.Fatalf("memory = %d, want 124", got)
+	}
+}
+
+func TestConflictAbortUnwindsAllCores(t *testing.T) {
+	s := newSys()
+	// Core 0 reads with a high VID; core 1 then stores with a lower VID,
+	// a flow-dependence violation (§4.3).
+	p0 := func(e *Env) {
+		e.Begin(2)
+		e.Load(0x1000)
+		e.Compute(100000)
+		e.Commit(2)
+	}
+	p1 := func(e *Env) {
+		e.Compute(5000) // let core 0's read happen first
+		e.Begin(1)
+		e.Store(0x1000, 7)
+		e.Commit(1)
+	}
+	res := s.Run([]Program{p0, p1})
+	if !res.Aborted {
+		t.Fatal("conflicting schedule must abort")
+	}
+	if res.LastCommitted != 0 {
+		t.Fatalf("last committed = %d, want 0", res.LastCommitted)
+	}
+	if got := s.Mem.PeekWord(0x1000); got != 0 {
+		t.Fatalf("memory = %d, want 0 (store rolled back)", got)
+	}
+}
+
+func TestBranchPredictorCounts(t *testing.T) {
+	s := newSys()
+	s.Run([]Program{func(e *Env) {
+		for i := 0; i < 100; i++ {
+			e.Branch(5, true) // quickly learned: few mispredicts
+		}
+		for i := 0; i < 100; i++ {
+			e.Branch(6, i%2 == 0) // alternating: many mispredicts
+		}
+	}})
+	st := s.Stats()
+	if st.Branches != 200 {
+		t.Fatalf("branches = %d, want 200", st.Branches)
+	}
+	if st.Mispredicts < 40 || st.Mispredicts > 120 {
+		t.Fatalf("mispredicts = %d, want mostly from the alternating branch", st.Mispredicts)
+	}
+}
+
+// TestSLAAvoidsFalseMisspeculation constructs the §5.1 scenario end to end:
+// a mispredicted branch inside a transaction issues wrong-path loads; a
+// lower-VID store to one of those lines must not abort when SLAs filter the
+// marks, and must abort when they are disabled.
+func TestSLAAvoidsFalseMisspeculation(t *testing.T) {
+	scenario := func(slaEnabled bool) (RunResult, *System) {
+		cfg := DefaultConfig()
+		cfg.Mem.SLAEnabled = slaEnabled
+		cfg.WrongPathLoads = 8
+		s := New(cfg)
+		p0 := func(e *Env) {
+			e.Begin(2)
+			e.Load(0x4000) // the recent-address pool: wrong-path loads land on 0x4000..0x40C0
+			for i := 0; i < 8; i++ {
+				e.Branch(9, i%2 == 0) // alternating: mispredicts guaranteed
+			}
+			e.Compute(200000)
+			e.Commit(2)
+		}
+		p1 := func(e *Env) {
+			e.Compute(20000) // run after core 0's wrong-path loads
+			e.Begin(1)
+			for la := memsys.Addr(0x4040); la <= 0x40C0; la += memsys.LineSize {
+				e.Store(la, 1) // lines tx 2 never truly accessed
+			}
+			e.Commit(1)
+		}
+		res := s.Run([]Program{p0, p1})
+		return res, s
+	}
+
+	res, s := scenario(true)
+	if res.Aborted {
+		t.Fatalf("with SLAs the run must not abort, got: %s", res.Cause)
+	}
+	if s.Stats().AvoidedAborts == 0 && s.Mem.Stats().AvoidedAborts == 0 {
+		t.Fatal("expected at least one avoided false misspeculation")
+	}
+
+	res, _ = scenario(false)
+	if !res.Aborted {
+		t.Fatal("without SLAs the squashed loads must cause a false misspeculation")
+	}
+}
+
+func TestAwaitCommitted(t *testing.T) {
+	s := newSys()
+	woke := false
+	p0 := func(e *Env) {
+		e.AwaitCommitted(1)
+		woke = true
+	}
+	p1 := func(e *Env) {
+		e.Compute(50000)
+		e.Begin(1)
+		e.Store(0x100, 1)
+		e.Commit(1)
+	}
+	res := s.Run([]Program{p0, p1})
+	if !woke {
+		t.Fatal("AwaitCommitted never woke")
+	}
+	if res.Aborted {
+		t.Fatalf("aborted: %s", res.Cause)
+	}
+}
+
+func TestTxSetTracking(t *testing.T) {
+	s := newSys()
+	s.Run([]Program{func(e *Env) {
+		e.Begin(1)
+		// 3 distinct lines read, 2 written (one overlapping).
+		e.Load(0x1000)
+		e.Load(0x1040)
+		e.Load(0x1080)
+		e.Store(0x1000, 1)
+		e.Store(0x2000, 2)
+		e.Commit(1)
+	}})
+	st := s.Stats()
+	if st.Txs != 1 {
+		t.Fatalf("txs = %d, want 1", st.Txs)
+	}
+	if st.ReadSetBytes != 3*memsys.LineSize {
+		t.Fatalf("read set = %d bytes, want %d", st.ReadSetBytes, 3*memsys.LineSize)
+	}
+	if st.WriteSetBytes != 2*memsys.LineSize {
+		t.Fatalf("write set = %d bytes, want %d", st.WriteSetBytes, 2*memsys.LineSize)
+	}
+	if st.SpecAccesses != 5 {
+		t.Fatalf("spec accesses = %d, want 5", st.SpecAccesses)
+	}
+}

@@ -1,0 +1,630 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hmtx/internal/memsys"
+	"hmtx/internal/vid"
+)
+
+// Program is a workload thread: it runs on one simulated core and interacts
+// with the machine exclusively through its Env.
+type Program func(*Env)
+
+// RunResult summarises one parallel region execution.
+type RunResult struct {
+	// Cycles is the simulated execution time: the latest finish time of
+	// any participating core.
+	Cycles int64
+	// Aborted reports that the region ended in a misspeculation abort;
+	// all uncommitted transactions were rolled back (§4.4) and the
+	// caller must re-execute everything after LastCommitted.
+	Aborted bool
+	// Cause describes the misspeculation.
+	Cause string
+	// LastCommitted is the last transaction sequence number whose
+	// effects are durable.
+	LastCommitted vid.Seq
+}
+
+// Stats aggregates engine-level counters across runs.
+type Stats struct {
+	Instructions uint64
+	Branches     uint64
+	Mispredicts  uint64
+
+	// Per-transaction aggregates for Table 1 and Figure 9, accumulated
+	// at commit time.
+	Txs              uint64
+	SpecAccesses     uint64 // speculative loads+stores inside transactions
+	AvoidedAborts    uint64 // false misspeculations avoided via SLA (§5.1)
+	ReadSetBytes     uint64 // distinct lines read, in bytes
+	WriteSetBytes    uint64 // distinct lines written, in bytes
+	MaxCombinedBytes uint64 // largest single-transaction combined set
+}
+
+type parkKind uint8
+
+const (
+	parkNone parkKind = iota
+	parkConsume
+	parkProduce
+	parkCommit
+	parkAwait
+	parkEpoch
+)
+
+type core struct {
+	id     int
+	time   int64
+	finish int64
+	done   bool
+
+	req  chan request
+	resp chan response
+
+	parked    parkKind
+	parkedReq request
+
+	curSeq vid.Seq
+
+	// Branch predictor: per-site 2-bit saturating counters.
+	pred map[uint64]uint8
+	// Recently touched addresses, the pool wrong-path loads draw from.
+	recent  [16]memsys.Addr
+	recentN int
+}
+
+func (c *core) pushRecent(a memsys.Addr) {
+	c.recent[c.recentN%len(c.recent)] = a
+	c.recentN++
+}
+
+type qItem struct {
+	val   uint64
+	ready int64
+}
+
+type queue struct {
+	items       []qItem
+	closed      bool
+	lastPopTime int64
+}
+
+// txStats tracks one in-flight transaction's speculative footprint.
+type txStats struct {
+	read, write  map[memsys.Addr]struct{}
+	specAccesses uint64
+	avoided      uint64
+}
+
+// System is the simulated multicore machine.
+type System struct {
+	cfg   Config
+	Mem   *memsys.Hierarchy
+	cores []*core
+
+	queues map[int]*queue
+	txs    map[vid.Seq]*txStats
+
+	lastCommitted  vid.Seq
+	lastCommitTime int64
+
+	busFreeAt  int64
+	aborting   bool
+	abortCause string
+
+	rng   *rand.Rand
+	stats Stats
+	nLive int
+}
+
+// New builds a system; the memory hierarchy is fresh and empty.
+func New(cfg Config) *System {
+	s := &System{
+		cfg:    cfg,
+		Mem:    memsys.New(cfg.Mem),
+		queues: make(map[int]*queue),
+		txs:    make(map[vid.Seq]*txStats),
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+	}
+	s.Mem.SetTracker((*sysTracker)(s))
+	for i := 0; i < cfg.Mem.Cores; i++ {
+		s.cores = append(s.cores, &core{
+			id:   i,
+			req:  make(chan request),
+			resp: make(chan response),
+			pred: make(map[uint64]uint8),
+		})
+	}
+	return s
+}
+
+// Stats returns the engine-level counters.
+func (s *System) Stats() *Stats { return &s.stats }
+
+// LastCommitted returns the last durable transaction sequence number.
+func (s *System) LastCommitted() vid.Seq { return s.lastCommitted }
+
+// abortSignal unwinds a program when the region aborts.
+type abortSignal struct{ cause string }
+
+// Run executes the given programs, one per core starting at core 0, until
+// they all finish or the region aborts. Core clocks restart at zero for each
+// run; committed memory state, statistics and transaction numbering persist
+// across runs, so a caller can re-execute after an abort.
+func (s *System) Run(programs []Program) RunResult {
+	if len(programs) == 0 || len(programs) > len(s.cores) {
+		panic(fmt.Sprintf("engine: %d programs for %d cores", len(programs), len(s.cores)))
+	}
+	s.aborting = false
+	s.abortCause = ""
+	s.busFreeAt = 0
+	s.queues = make(map[int]*queue)
+	s.nLive = len(programs)
+	live := s.cores[:len(programs)]
+	for _, c := range live {
+		c.time, c.finish, c.done, c.parked, c.curSeq = 0, 0, false, parkNone, 0
+	}
+	for i, p := range programs {
+		c := live[i]
+		prog := p
+		go func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(abortSignal); !ok {
+						panic(r)
+					}
+				}
+				c.req <- request{kind: reqDone}
+			}()
+			prog(&Env{sys: s, c: c})
+		}()
+	}
+
+	for s.nLive > 0 {
+		c := s.pickRunnable(live)
+		if c == nil {
+			s.dumpDeadlock(live)
+		}
+		r := <-c.req
+		s.handle(c, r)
+		s.retryParked(live)
+	}
+
+	var cycles int64
+	for _, c := range live {
+		if c.finish > cycles {
+			cycles = c.finish
+		}
+	}
+	return RunResult{
+		Cycles:        cycles,
+		Aborted:       s.abortCause != "",
+		Cause:         s.abortCause,
+		LastCommitted: s.lastCommitted,
+	}
+}
+
+func (s *System) pickRunnable(live []*core) *core {
+	var best *core
+	for _, c := range live {
+		if c.done || c.parked != parkNone {
+			continue
+		}
+		if best == nil || c.time < best.time {
+			best = c
+		}
+	}
+	return best
+}
+
+func (s *System) dumpDeadlock(live []*core) {
+	msg := "engine: deadlock: all cores parked:"
+	for _, c := range live {
+		msg += fmt.Sprintf(" core%d(done=%v park=%d seq=%d)", c.id, c.done, c.parked, c.curSeq)
+	}
+	panic(msg)
+}
+
+func (s *System) hwVID(q vid.Seq) vid.V {
+	if q == 0 {
+		return vid.NonSpec
+	}
+	epoch, v := s.cfg.Mem.VIDSpace.Split(q)
+	if epoch != s.Mem.CurrentEpoch() {
+		panic(fmt.Sprintf("engine: transaction %d belongs to epoch %d but memory system is in epoch %d", q, epoch, s.Mem.CurrentEpoch()))
+	}
+	return v
+}
+
+func (s *System) tx(q vid.Seq) *txStats {
+	t, ok := s.txs[q]
+	if !ok {
+		t = &txStats{read: make(map[memsys.Addr]struct{}), write: make(map[memsys.Addr]struct{})}
+		s.txs[q] = t
+	}
+	return t
+}
+
+func (s *System) handle(c *core, r request) {
+	if r.kind == reqDone {
+		c.done = true
+		c.finish = c.time
+		s.nLive--
+		return
+	}
+	if s.aborting {
+		c.resp <- response{abort: true}
+		return
+	}
+	switch r.kind {
+	case reqLoad:
+		hw := s.hwVID(c.curSeq)
+		busBefore := s.Mem.Stats().BusMessages
+		val, res := s.Mem.Load(c.id, r.addr, hw)
+		s.charge(c, res.Lat, s.Mem.Stats().BusMessages-busBefore)
+		s.stats.Instructions++
+		c.pushRecent(r.addr)
+		if res.Conflict {
+			s.triggerAbort(res.Cause, c)
+			return
+		}
+		c.resp <- response{val: val}
+
+	case reqStore:
+		hw := s.hwVID(c.curSeq)
+		busBefore := s.Mem.Stats().BusMessages
+		res := s.Mem.Store(c.id, r.addr, r.val, hw)
+		s.charge(c, res.Lat, s.Mem.Stats().BusMessages-busBefore)
+		s.stats.Instructions++
+		c.pushRecent(r.addr)
+		if res.Conflict {
+			s.triggerAbort(res.Cause, c)
+			return
+		}
+		c.resp <- response{}
+
+	case reqCompute:
+		c.time += int64(r.val)
+		s.stats.Instructions += r.val
+		c.resp <- response{}
+
+	case reqBranch:
+		if !s.branch(c, r) {
+			return // aborted inside the branch (SLA-disabled mode)
+		}
+		c.resp <- response{}
+
+	case reqBegin:
+		if !s.begin(c, r) {
+			return // parked on a VID-reset stall (§4.6)
+		}
+		c.resp <- response{}
+
+	case reqCommit:
+		if r.seq != s.lastCommitted+1 {
+			s.park(c, parkCommit, r)
+			return
+		}
+		s.doCommit(c, r.seq)
+		c.resp <- response{}
+
+	case reqAbortTx:
+		s.triggerAbort(fmt.Sprintf("explicit abortMTX by core %d (seq %d)", c.id, r.seq), c)
+
+	case reqProduce:
+		q := s.queue(r.q)
+		if len(q.items) >= s.cfg.QueueCap {
+			s.park(c, parkProduce, r)
+			return
+		}
+		s.doProduce(c, q, r.val)
+		c.resp <- response{}
+
+	case reqConsume:
+		q := s.queue(r.q)
+		switch {
+		case len(q.items) > 0:
+			val := s.doConsume(c, q)
+			c.resp <- response{val: val, ok: true}
+		case q.closed:
+			c.resp <- response{ok: false}
+		default:
+			s.park(c, parkConsume, r)
+		}
+
+	case reqClose:
+		s.queue(r.q).closed = true
+		c.time += s.cfg.QueueOpCost
+		c.resp <- response{}
+
+	case reqAwait:
+		if s.lastCommitted >= r.seq {
+			c.resp <- response{}
+			return
+		}
+		s.park(c, parkAwait, r)
+
+	case reqTxInfo:
+		var n uint64
+		if c.curSeq != 0 {
+			n = s.tx(c.curSeq).specAccesses
+		}
+		c.resp <- response{val: n}
+
+	default:
+		panic(fmt.Sprintf("engine: unknown request kind %d", r.kind))
+	}
+}
+
+// charge advances the core's clock by lat cycles; if the operation used the
+// shared bus, the core first arbitrates for it and occupies it for
+// busOps transactions, serialising concurrent misses from different cores.
+func (s *System) charge(c *core, lat int64, busOps uint64) {
+	if busOps > 0 {
+		start := c.time
+		if s.busFreeAt > start {
+			start = s.busFreeAt
+		}
+		s.busFreeAt = start + int64(busOps)*s.cfg.BusOccupancy
+		c.time = start + lat
+		return
+	}
+	c.time += lat
+}
+
+func (s *System) queue(id int) *queue {
+	q, ok := s.queues[id]
+	if !ok {
+		q = &queue{}
+		s.queues[id] = q
+	}
+	return q
+}
+
+func (s *System) doProduce(c *core, q *queue, val uint64) {
+	q.items = append(q.items, qItem{val: val, ready: c.time + s.cfg.QueueLat})
+	c.time += s.cfg.QueueOpCost
+	s.stats.Instructions++
+}
+
+func (s *System) doConsume(c *core, q *queue) uint64 {
+	it := q.items[0]
+	q.items = q.items[1:]
+	if it.ready > c.time {
+		c.time = it.ready
+	}
+	c.time += s.cfg.QueueOpCost
+	q.lastPopTime = c.time
+	s.stats.Instructions++
+	return it.val
+}
+
+// begin executes beginMTX(seq). It returns false if the core parked waiting
+// for outstanding commits before a VID reset (§4.6).
+func (s *System) begin(c *core, r request) bool {
+	if r.seq != 0 {
+		needEpoch := s.cfg.Mem.VIDSpace.Epoch(r.seq)
+		if cur := s.Mem.CurrentEpoch(); needEpoch > cur {
+			// All transactions of earlier epochs must commit before
+			// the VID space can be reset; this is the pipeline
+			// stall the paper's VID-width trade-off is about.
+			firstOfEpoch := vid.Seq(needEpoch * s.cfg.Mem.VIDSpace.PerEpoch())
+			if s.lastCommitted < firstOfEpoch {
+				s.park(c, parkEpoch, r)
+				return false
+			}
+			res := s.Mem.VIDReset()
+			c.time += res.Lat
+		}
+	}
+	c.curSeq = r.seq
+	c.time++ // the beginMTX instruction itself
+	s.stats.Instructions++
+	if r.seq != 0 {
+		s.tx(r.seq)
+	}
+	return true
+}
+
+func (s *System) doCommit(c *core, seq vid.Seq) {
+	res := s.Mem.Commit(s.hwVID(seq))
+	c.time += res.Lat
+	s.stats.Instructions++
+	s.lastCommitted = seq
+	if c.time > s.lastCommitTime {
+		s.lastCommitTime = c.time
+	}
+	if c.curSeq == seq {
+		c.curSeq = 0 // commitMTX returns to non-speculative execution
+	}
+	if t, ok := s.txs[seq]; ok {
+		s.stats.Txs++
+		s.stats.SpecAccesses += t.specAccesses
+		s.stats.AvoidedAborts += t.avoided
+		rb := uint64(len(t.read)) * memsys.LineSize
+		wb := uint64(len(t.write)) * memsys.LineSize
+		s.stats.ReadSetBytes += rb
+		s.stats.WriteSetBytes += wb
+		if rb+wb > s.stats.MaxCombinedBytes {
+			s.stats.MaxCombinedBytes = rb + wb
+		}
+		delete(s.txs, seq)
+	}
+}
+
+// branch models one conditional branch; it returns false if the core
+// aborted while executing wrong-path loads (only possible with SLAs
+// disabled).
+func (s *System) branch(c *core, r request) bool {
+	s.stats.Branches++
+	s.stats.Instructions++
+	c.time++
+	ctr := c.pred[r.site]
+	predictTaken := ctr >= 2
+	if predictTaken != r.taken {
+		s.stats.Mispredicts++
+		c.time += s.cfg.MispredictPenalty
+		// Squashed wrong-path loads execute before the misprediction
+		// is discovered (§5.1). They pull data through the caches but,
+		// with SLAs, never mark lines.
+		if c.curSeq != 0 && c.recentN > 0 {
+			hw := s.hwVID(c.curSeq)
+			n := len(c.recent)
+			if c.recentN < n {
+				n = c.recentN
+			}
+			for i := 0; i < s.cfg.WrongPathLoads; i++ {
+				base := c.recent[s.rng.Intn(n)]
+				// Wrong-path loads stray a few lines either side of
+				// recently touched data — including into regions
+				// that earlier transactions are still writing,
+				// which is exactly what SLAs protect against.
+				stride := int64(s.rng.Intn(16)-8) * memsys.LineSize
+				addr := memsys.Addr(int64(base) + stride)
+				_, res := s.Mem.WrongPathLoad(c.id, addr, hw)
+				if res.Conflict {
+					// Only possible when SLAs are disabled:
+					// the squashed load marked a line and
+					// tripped over existing versions.
+					s.triggerAbort(res.Cause, c)
+					return false
+				}
+			}
+		}
+	}
+	// 2-bit saturating update.
+	if r.taken && ctr < 3 {
+		c.pred[r.site] = ctr + 1
+	} else if !r.taken && ctr > 0 {
+		c.pred[r.site] = ctr - 1
+	}
+	return true
+}
+
+func (s *System) triggerAbort(cause string, c *core) {
+	res := s.Mem.AbortAll()
+	c.time += res.Lat
+	s.aborting = true
+	s.abortCause = cause
+	// Discard in-flight transaction footprints; they never committed.
+	s.txs = make(map[vid.Seq]*txStats)
+	c.resp <- response{abort: true}
+}
+
+// retryParked re-examines parked cores after every event, waking those whose
+// condition now holds. Iteration repeats until a fixed point so that chains
+// (commit unblocking commit unblocking a VID reset) resolve in one pass.
+func (s *System) retryParked(live []*core) {
+	for changed := true; changed; {
+		changed = false
+		for _, c := range live {
+			if c.parked == parkNone || c.done {
+				continue
+			}
+			if s.aborting {
+				c.parked = parkNone
+				c.resp <- response{abort: true}
+				changed = true
+				continue
+			}
+			r := c.parkedReq
+			switch c.parked {
+			case parkConsume:
+				q := s.queue(r.q)
+				if len(q.items) > 0 {
+					c.parked = parkNone
+					val := s.doConsume(c, q)
+					c.resp <- response{val: val, ok: true}
+					changed = true
+				} else if q.closed {
+					c.parked = parkNone
+					c.resp <- response{ok: false}
+					changed = true
+				}
+			case parkProduce:
+				q := s.queue(r.q)
+				if len(q.items) < s.cfg.QueueCap {
+					c.parked = parkNone
+					if q.lastPopTime > c.time {
+						c.time = q.lastPopTime
+					}
+					s.doProduce(c, q, r.val)
+					c.resp <- response{}
+					changed = true
+				}
+			case parkCommit:
+				if r.seq == s.lastCommitted+1 {
+					c.parked = parkNone
+					if s.lastCommitTime > c.time {
+						c.time = s.lastCommitTime
+					}
+					s.doCommit(c, r.seq)
+					c.resp <- response{}
+					changed = true
+				}
+			case parkAwait:
+				if s.lastCommitted >= r.seq {
+					c.parked = parkNone
+					if s.lastCommitTime > c.time {
+						c.time = s.lastCommitTime
+					}
+					c.resp <- response{}
+					changed = true
+				}
+			case parkEpoch:
+				needEpoch := s.cfg.Mem.VIDSpace.Epoch(r.seq)
+				firstOfEpoch := vid.Seq(needEpoch * s.cfg.Mem.VIDSpace.PerEpoch())
+				if s.lastCommitted >= firstOfEpoch {
+					c.parked = parkNone
+					if s.lastCommitTime > c.time {
+						c.time = s.lastCommitTime
+					}
+					if s.begin(c, r) {
+						c.resp <- response{}
+					}
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+func (s *System) park(c *core, k parkKind, r request) {
+	c.parked = k
+	c.parkedReq = r
+}
+
+// sysTracker implements memsys.Tracker on System.
+type sysTracker System
+
+func (t *sysTracker) SpecTouch(coreID int, lineAddr memsys.Addr, isStore bool) bool {
+	s := (*System)(t)
+	seq := s.cores[coreID].curSeq
+	if seq == 0 {
+		return true
+	}
+	tx := s.tx(seq)
+	tx.specAccesses++
+	_, inR := tx.read[lineAddr]
+	_, inW := tx.write[lineAddr]
+	if isStore {
+		tx.write[lineAddr] = struct{}{}
+	} else {
+		tx.read[lineAddr] = struct{}{}
+	}
+	return inR || inW
+}
+
+func (t *sysTracker) WrongPath(coreID int, lineAddr memsys.Addr) {}
+
+func (t *sysTracker) AvoidedAbort(coreID int) {
+	s := (*System)(t)
+	seq := s.cores[coreID].curSeq
+	if seq == 0 {
+		return
+	}
+	s.tx(seq).avoided++
+}

@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hmtx/internal/engine"
+	"hmtx/internal/hmtx"
+	"hmtx/internal/paradigm"
+	"hmtx/internal/stats"
+	"hmtx/internal/vid"
+	"hmtx/internal/workloads"
+)
+
+// AblationSLA contrasts runs with speculative load acknowledgments enabled
+// and disabled (§5.1) on 186.crafty, the benchmark with the highest branch
+// misprediction rate. Without SLAs, squashed wrong-path loads mark cache
+// lines and cause false misspeculation aborts.
+func AblationSLA(cfg Config) string {
+	spec, err := workloads.ByName("052.alvinn")
+	if err != nil {
+		panic(err)
+	}
+	var t stats.Table
+	t.Add("SLAs", "Cycles", "Aborts", "AvoidedAborts", "Recovery runs")
+	for _, enabled := range []bool{true, false} {
+		ec := cfg.engineConfig()
+		ec.Mem.SLAEnabled = enabled
+		sys := engine.New(ec)
+		loop := spec.New(cfg.Scale)
+		loop.Setup(sys.Mem)
+		out := hmtx.Run(sys, loop, spec.Paradigm, cfg.Cores)
+		t.AddF(fmt.Sprintf("%v", enabled), out.Cycles, out.Aborts, sys.Mem.Stats().AvoidedAborts, out.Runs)
+	}
+	return "Ablation: speculative load acknowledgments (§5.1) on 052.alvinn\n" + t.String()
+}
+
+// AblationVIDWidth sweeps the hardware VID width m (§4.6): narrow VIDs force
+// frequent VID resets that drain the DSWP pipeline, while wide VIDs cost
+// area and energy (the paper settles on 6 bits).
+func AblationVIDWidth(cfg Config) string {
+	spec, err := workloads.ByName("164.gzip")
+	if err != nil {
+		panic(err)
+	}
+	widths := []uint{2, 3, 4, 6, 8}
+	type meas struct {
+		cycles int64
+		resets uint64
+	}
+	results := make(map[uint]meas)
+	for _, bits := range widths {
+		ec := cfg.engineConfig()
+		ec.Mem.VIDSpace = vid.Space{Bits: bits}
+		sys := engine.New(ec)
+		loop := spec.New(cfg.Scale)
+		loop.Setup(sys.Mem)
+		out := hmtx.Run(sys, loop, spec.Paradigm, cfg.Cores)
+		results[bits] = meas{out.Cycles, sys.Mem.Stats().VIDResets}
+	}
+	base := float64(results[6].cycles)
+	var t stats.Table
+	t.Add("VID bits", "VIDs/epoch", "Cycles", "VID resets", "Slowdown vs m=6")
+	for _, bits := range widths {
+		r := results[bits]
+		t.AddF(bits, (uint64(1)<<bits)-1, r.cycles, r.resets,
+			fmt.Sprintf("%.2fx", float64(r.cycles)/base))
+	}
+	return "Ablation: VID width vs reset-stall cost (§4.6) on 164.gzip\n" + t.String()
+}
+
+// AblationLazyCommit contrasts the lazy commit scheme of §5.3 with the naive
+// eager scheme of §4.4 (every commit sweeps all caches, as in
+// Vachharajani's proposal, §7.1).
+func AblationLazyCommit(cfg Config) string {
+	spec, err := workloads.ByName("456.hmmer")
+	if err != nil {
+		panic(err)
+	}
+	var t stats.Table
+	t.Add("Commit scheme", "Cycles", "Slowdown")
+	var lazy int64
+	for _, eager := range []bool{false, true} {
+		ec := cfg.engineConfig()
+		ec.Mem.EagerCommit = eager
+		sys := engine.New(ec)
+		loop := spec.New(cfg.Scale)
+		loop.Setup(sys.Mem)
+		out := hmtx.Run(sys, loop, spec.Paradigm, cfg.Cores)
+		name := "lazy (§5.3)"
+		slow := "1.00x"
+		if eager {
+			name = "eager sweep (§4.4)"
+			slow = fmt.Sprintf("%.2fx", float64(out.Cycles)/float64(lazy))
+		} else {
+			lazy = out.Cycles
+		}
+		t.AddF(name, out.Cycles, slow)
+	}
+	return "Ablation: lazy vs eager commit processing (§5.3) on 456.hmmer\n" + t.String()
+}
+
+// AblationScaling sweeps the core count on a work-stage-bound loop,
+// anticipating the paper's future-work question of scaling HMTX beyond four
+// cores (§8): PS-DSWP keeps profiting from added cores while DSWP cannot.
+func AblationScaling(cfg Config) string {
+	var t stats.Table
+	t.Add("Cores", "DSWP", "PS-DSWP")
+	seqSys := engine.New(cfg.engineConfig())
+	loop := &microLoop{n: 48, work: 2600, nWork: 320}
+	loop.Setup(seqSys.Mem)
+	seq := paradigm.RunSequential(seqSys, loop)
+	for _, cores := range []int{2, 4, 6, 8} {
+		row := []interface{}{cores}
+		for _, k := range []paradigm.Kind{paradigm.DSWP, paradigm.PSDSWP} {
+			ec := cfg.engineConfig()
+			ec.Mem.Cores = cores
+			sys := engine.New(ec)
+			l := &microLoop{n: 48, work: 2600, nWork: 320}
+			l.Setup(sys.Mem)
+			out := hmtx.Run(sys, l, k, cores)
+			row = append(row, fmt.Sprintf("%.2fx", float64(seq)/float64(out.Cycles)))
+		}
+		t.AddF(row...)
+	}
+	return "Ablation: core-count scaling on the work-bound loop (§8)\n" + t.String()
+}
+
+// Paradigms compares all applicable paradigms on every benchmark, extending
+// Figure 1's conceptual comparison to the full suite.
+func Paradigms(cfg Config) string {
+	var t stats.Table
+	t.Add("Benchmark", "DOACROSS", "DSWP", "PS-DSWP", "DOALL")
+	for _, spec := range workloads.All() {
+		cells := []interface{}{spec.Name}
+		for _, k := range []paradigm.Kind{paradigm.DOACROSS, paradigm.DSWP, paradigm.PSDSWP, paradigm.DOALL} {
+			if k == paradigm.DOALL && spec.Paradigm != paradigm.DOALL {
+				// Only alvinn's iterations are independent enough
+				// for DOALL.
+				cells = append(cells, "-")
+				continue
+			}
+			seqSys := engine.New(cfg.engineConfig())
+			loop := spec.New(cfg.Scale)
+			loop.Setup(seqSys.Mem)
+			seq := paradigm.RunSequential(seqSys, loop)
+
+			sys := engine.New(cfg.engineConfig())
+			loop = spec.New(cfg.Scale)
+			loop.Setup(sys.Mem)
+			out := hmtx.Run(sys, loop, k, cfg.Cores)
+			cells = append(cells, fmt.Sprintf("%.2fx", float64(seq)/float64(out.Cycles)))
+		}
+		t.AddF(cells...)
+	}
+	return "Paradigm comparison: hot-loop speedup by execution model (HMTX)\n" + t.String()
+}

@@ -1,0 +1,291 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§6): Table 1 (speculative-execution statistics), Table 2
+// (architectural configuration), Table 3 (area, power, energy), Figure 1
+// (paradigm timing), Figure 2 (SMTX validation sensitivity), Figure 8
+// (hot-loop speedup), and Figure 9 (read/write-set sizes). The cmd/experiments
+// binary and the repository's benchmark harness both drive this package.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"hmtx/internal/engine"
+	"hmtx/internal/hmtx"
+	"hmtx/internal/memsys"
+	"hmtx/internal/paradigm"
+	"hmtx/internal/power"
+	"hmtx/internal/smtx"
+	"hmtx/internal/stats"
+	"hmtx/internal/workloads"
+)
+
+// Config controls an experiment run.
+type Config struct {
+	// Scale multiplies every benchmark's iteration count (1 = the
+	// configuration recorded in EXPERIMENTS.md).
+	Scale int
+	// Cores is the machine size; the paper evaluates 4.
+	Cores int
+}
+
+// Default returns the evaluation configuration.
+func Default() Config { return Config{Scale: 1, Cores: 4} }
+
+func (c Config) engineConfig() engine.Config {
+	ec := engine.DefaultConfig()
+	ec.Mem.Cores = c.Cores
+	return ec
+}
+
+// BenchResult holds every measurement taken for one benchmark.
+type BenchResult struct {
+	Spec workloads.Spec
+
+	SeqCycles int64
+	SeqAct    power.Activity
+
+	HMTXOut hmtx.Outcome
+	HMTXAct power.Activity
+	HMTXEng engine.Stats
+	HMTXMem memsys.Stats
+
+	// SMTX results are only present when Spec.HasSMTX.
+	SMTXMinOut, SMTXMaxOut hmtx.Outcome
+	SMTXMinAct, SMTXMaxAct power.Activity
+}
+
+// HotSpeedupHMTX returns the hot-loop speedup of HMTX over sequential.
+func (r *BenchResult) HotSpeedupHMTX() float64 {
+	return float64(r.SeqCycles) / float64(r.HMTXOut.Cycles)
+}
+
+// HotSpeedupSMTX returns the hot-loop speedup of SMTX in the given mode.
+func (r *BenchResult) HotSpeedupSMTX(mode smtx.Mode) float64 {
+	out := r.SMTXMinOut
+	if mode == smtx.MaxSet {
+		out = r.SMTXMaxOut
+	}
+	return float64(r.SeqCycles) / float64(out.Cycles)
+}
+
+// WholeProgram converts a hot-loop speedup to a whole-program speedup using
+// the benchmark's hot-loop execution-time share (Table 1) and Amdahl's law.
+func (r *BenchResult) WholeProgram(hotSpeedup float64) float64 {
+	h := r.Spec.HotLoopPct / 100
+	return 1 / ((1 - h) + h/hotSpeedup)
+}
+
+func activity(cycles int64, eng *engine.Stats, mem *memsys.Stats) power.Activity {
+	return power.Activity{
+		Cycles:       cycles,
+		Instructions: eng.Instructions,
+		L1Accesses:   mem.L1Hits + mem.BusMessages,
+		L2Accesses:   mem.L2Hits + mem.MemReads,
+		MemAccesses:  mem.MemReads + mem.MemWrites,
+		BusMessages:  mem.BusMessages,
+	}
+}
+
+// RunBench measures one benchmark: sequential, HMTX with maximal validation,
+// and (when available) SMTX with minimal and maximal read/write sets.
+func RunBench(cfg Config, spec workloads.Spec) BenchResult {
+	r := BenchResult{Spec: spec}
+
+	// Sequential baseline.
+	sys := engine.New(cfg.engineConfig())
+	loop := spec.New(cfg.Scale)
+	loop.Setup(sys.Mem)
+	r.SeqCycles = paradigm.RunSequential(sys, loop)
+	r.SeqAct = activity(r.SeqCycles, sys.Stats(), sys.Mem.Stats())
+
+	// HMTX with maximal validation: every load and store inside every
+	// transaction is validated (§6.1).
+	sys = engine.New(cfg.engineConfig())
+	loop = spec.New(cfg.Scale)
+	loop.Setup(sys.Mem)
+	r.HMTXOut = hmtx.Run(sys, loop, spec.Paradigm, cfg.Cores)
+	r.HMTXEng = *sys.Stats()
+	r.HMTXMem = *sys.Mem.Stats()
+	r.HMTXAct = activity(r.HMTXOut.Cycles, sys.Stats(), sys.Mem.Stats())
+
+	if spec.HasSMTX {
+		sys = engine.New(cfg.engineConfig())
+		loop = spec.New(cfg.Scale)
+		loop.Setup(sys.Mem)
+		r.SMTXMinOut = smtx.Run(sys, loop, spec.Paradigm, cfg.Cores, smtx.MinSet, smtx.DefaultConfig())
+		r.SMTXMinAct = activity(r.SMTXMinOut.Cycles, sys.Stats(), sys.Mem.Stats())
+
+		sys = engine.New(cfg.engineConfig())
+		loop = spec.New(cfg.Scale)
+		loop.Setup(sys.Mem)
+		r.SMTXMaxOut = smtx.Run(sys, loop, spec.Paradigm, cfg.Cores, smtx.MaxSet, smtx.DefaultConfig())
+		r.SMTXMaxAct = activity(r.SMTXMaxOut.Cycles, sys.Stats(), sys.Mem.Stats())
+	}
+	return r
+}
+
+// RunAll measures every benchmark, writing progress lines to w (may be nil).
+func RunAll(cfg Config, w io.Writer) []BenchResult {
+	var out []BenchResult
+	for _, spec := range workloads.All() {
+		if w != nil {
+			fmt.Fprintf(w, "running %-12s (%v, scale %d)...\n", spec.Name, spec.Paradigm, cfg.Scale)
+		}
+		out = append(out, RunBench(cfg, spec))
+	}
+	return out
+}
+
+// Table1 renders the per-benchmark speculative-execution statistics
+// (paper Table 1).
+func Table1(results []BenchResult) string {
+	var t stats.Table
+	t.Add("Benchmark", "Paradigm", "HotLoop%", "SpecAcc/TX", "SLAAvoid/TX", "%LoadsNeedSLA", "%Branches", "Mispred%")
+	for i := range results {
+		r := &results[i]
+		txs := float64(r.HMTXEng.Txs)
+		specLoads := float64(r.HMTXMem.SpecLoads)
+		branches := float64(r.HMTXEng.Branches)
+		insts := float64(r.HMTXEng.Instructions)
+		t.AddF(r.Spec.Name, r.Spec.Paradigm, r.Spec.HotLoopPct,
+			fmt.Sprintf("%.0f", float64(r.HMTXEng.SpecAccesses)/txs),
+			fmt.Sprintf("%.3f", float64(r.HMTXEng.AvoidedAborts)/txs),
+			stats.Pct(float64(r.HMTXMem.SLAsSent)/specLoads, 2),
+			stats.Pct(branches/insts, 1),
+			stats.Pct(float64(r.HMTXEng.Mispredicts)/branches, 2))
+	}
+	return "Table 1: Statistics from simulated speculative execution using HMTX\n" + t.String()
+}
+
+// Table2 renders the architectural configuration (paper Table 2).
+func Table2(cfg Config) string {
+	mc := cfg.engineConfig().Mem
+	var t stats.Table
+	t.Add("Feature", "Parameter")
+	t.AddF("Cores", mc.Cores)
+	t.AddF("Clock Speed", "2.0 GHz")
+	t.AddF("L1 D Cache", fmt.Sprintf("%dKB, %d-way, %d cycle latency", mc.L1Size>>10, mc.L1Ways, mc.L1Lat))
+	t.AddF("Shared L2 Cache", fmt.Sprintf("%dMB, %d-way, %d cycle latency", mc.L2Size>>20, mc.L2Ways, mc.L2Lat))
+	t.AddF("Cache Line Size", fmt.Sprintf("%dB", memsys.LineSize))
+	t.AddF("Base Coherence Protocol", "MOESI")
+	t.AddF("Memory Latency", fmt.Sprintf("%d cycles", mc.MemLat))
+	t.AddF("VID Width", fmt.Sprintf("%d bits", mc.VIDSpace.Bits))
+	return "Table 2: Architectural configuration\n" + t.String()
+}
+
+// Fig2 renders the SMTX whole-program speedup comparison with minimal vs
+// substantial read/write sets (paper Figure 2).
+func Fig2(results []BenchResult) string {
+	var t stats.Table
+	t.Add("Benchmark", "SMTX min R/W (whole prog)", "SMTX max R/W (whole prog)")
+	var mins, maxs []float64
+	for i := range results {
+		r := &results[i]
+		if !r.Spec.HasSMTX {
+			continue
+		}
+		mn := r.WholeProgram(r.HotSpeedupSMTX(smtx.MinSet))
+		mx := r.WholeProgram(r.HotSpeedupSMTX(smtx.MaxSet))
+		mins, maxs = append(mins, mn), append(maxs, mx)
+		t.AddF(r.Spec.Name, fmt.Sprintf("%.2fx", mn), fmt.Sprintf("%.2fx", mx))
+	}
+	t.AddF("Geomean", fmt.Sprintf("%.2fx", stats.Geomean(mins)), fmt.Sprintf("%.2fx", stats.Geomean(maxs)))
+	return "Figure 2: SMTX whole-program speedup, minimal vs substantial R/W set\n" + t.String()
+}
+
+// Fig8 renders the hot-loop speedups over sequential execution on 4 cores
+// (paper Figure 8): SMTX with minimal sets vs HMTX with maximal sets.
+func Fig8(results []BenchResult) string {
+	var t stats.Table
+	t.Add("Benchmark", "SMTX min R/W", "HMTX max R/W")
+	var hAll, hComp, sComp []float64
+	for i := range results {
+		r := &results[i]
+		h := r.HotSpeedupHMTX()
+		hAll = append(hAll, h)
+		sCell := "-"
+		if r.Spec.HasSMTX {
+			s := r.HotSpeedupSMTX(smtx.MinSet)
+			sComp = append(sComp, s)
+			hComp = append(hComp, h)
+			sCell = fmt.Sprintf("%.2fx", s)
+		}
+		t.AddF(r.Spec.Name, sCell, fmt.Sprintf("%.2fx", h))
+	}
+	t.AddF("Geomean (Comp.)", fmt.Sprintf("%.2fx", stats.Geomean(sComp)), fmt.Sprintf("%.2fx", stats.Geomean(hComp)))
+	t.AddF("Geomean (All)", "-", fmt.Sprintf("%.2fx", stats.Geomean(hAll)))
+	return "Figure 8: Hot loop speedup over sequential using 4 cores\n" + t.String()
+}
+
+// Fig9 renders the average read/write-set sizes per transaction
+// (paper Figure 9).
+func Fig9(results []BenchResult) string {
+	var t stats.Table
+	t.Add("Benchmark", "Read Set", "Write Set", "Combined", "Max Combined")
+	var combined []float64
+	for i := range results {
+		r := &results[i]
+		txs := r.HMTXEng.Txs
+		if txs == 0 {
+			continue
+		}
+		rb := r.HMTXEng.ReadSetBytes / txs
+		wb := r.HMTXEng.WriteSetBytes / txs
+		combined = append(combined, float64(rb+wb)/1024)
+		t.AddF(r.Spec.Name, stats.KB(rb), stats.KB(wb), stats.KB(rb+wb), stats.KB(r.HMTXEng.MaxCombinedBytes))
+	}
+	t.AddF("Geomean", "", "", fmt.Sprintf("%.1f kB", stats.Geomean(combined)), "")
+	return "Figure 9: Average read/write set size per transaction\n" + t.String()
+}
+
+// Table3 renders the area, power and energy comparison (paper Table 3).
+func Table3(cfg Config, results []BenchResult) string {
+	m := power.Default22nm()
+	mc := cfg.engineConfig().Mem
+	baseArea := m.Area(mc, false)
+	hmtxArea := m.Area(mc, true)
+
+	type row struct {
+		hw, model string
+		area      power.Area
+		hmtxHW    bool
+		pick      func(*BenchResult) (power.Activity, bool)
+	}
+	seqAct := func(r *BenchResult) (power.Activity, bool) { return r.SeqAct, true }
+	seqComp := func(r *BenchResult) (power.Activity, bool) { return r.SeqAct, r.Spec.HasSMTX }
+	smtxMin := func(r *BenchResult) (power.Activity, bool) { return r.SMTXMinAct, r.Spec.HasSMTX }
+	hmtxAll := func(r *BenchResult) (power.Activity, bool) { return r.HMTXAct, true }
+	hmtxComp := func(r *BenchResult) (power.Activity, bool) { return r.HMTXAct, r.Spec.HasSMTX }
+
+	rows := []row{
+		{"Commodity", "Sequential (All)", baseArea, false, seqAct},
+		{"Commodity", "Sequential (Comp.)", baseArea, false, seqComp},
+		{"Commodity", "SMTX, Min R/W", baseArea, false, smtxMin},
+		{"Commodity+HMTX", "Sequential (All)", hmtxArea, true, seqAct},
+		{"Commodity+HMTX", "Sequential (Comp.)", hmtxArea, true, seqComp},
+		{"Commodity+HMTX", "SMTX, Min R/W", hmtxArea, true, smtxMin},
+		{"Commodity+HMTX", "HMTX, Max R/W (All)", hmtxArea, true, hmtxAll},
+		{"Commodity+HMTX", "HMTX, Max R/W (Comp.)", hmtxArea, true, hmtxComp},
+	}
+
+	var t stats.Table
+	t.Add("Hardware", "Exec Model", "Area (mm2)", "Leakage (W)", "Geomean Dyn (W)", "Geomean Energy (J)")
+	for _, rw := range rows {
+		var pows, engs []float64
+		for i := range results {
+			act, ok := rw.pick(&results[i])
+			if !ok {
+				continue
+			}
+			pows = append(pows, m.DynamicPower(act, rw.hmtxHW))
+			engs = append(engs, m.TotalEnergy(act, rw.area, rw.hmtxHW))
+		}
+		t.AddF(rw.hw, rw.model,
+			fmt.Sprintf("%.1f", rw.area.Total()),
+			fmt.Sprintf("%.3f", m.Leakage(rw.area)),
+			fmt.Sprintf("%.2f", stats.Geomean(pows)),
+			fmt.Sprintf("%.4f", stats.Geomean(engs)))
+	}
+	return "Table 3: Area, power, and energy on the simulated 4-core machine\n" + t.String()
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"hmtx/internal/smtx"
+	"hmtx/internal/workloads"
+)
+
+// oneBench runs the smallest benchmark once for formatting tests.
+func oneBench(t *testing.T) []BenchResult {
+	t.Helper()
+	spec, err := workloads.ByName("ispell")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []BenchResult{RunBench(Default(), spec)}
+}
+
+func TestRunBenchMeasuresEverything(t *testing.T) {
+	spec, err := workloads.ByName("456.hmmer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := RunBench(Default(), spec)
+	if r.SeqCycles <= 0 || r.HMTXOut.Cycles <= 0 {
+		t.Fatal("missing cycle measurements")
+	}
+	if r.HotSpeedupHMTX() <= 1 {
+		t.Fatalf("hmmer HMTX speedup = %.2f, want > 1", r.HotSpeedupHMTX())
+	}
+	if !spec.HasSMTX {
+		t.Fatal("hmmer should have an SMTX comparison")
+	}
+	if r.SMTXMinOut.Cycles <= 0 || r.SMTXMaxOut.Cycles <= 0 {
+		t.Fatal("missing SMTX measurements")
+	}
+	if r.HotSpeedupSMTX(smtx.MaxSet) >= r.HotSpeedupSMTX(smtx.MinSet) {
+		t.Fatal("maximal validation must cost SMTX performance (Figure 2)")
+	}
+	if r.HMTXEng.Txs == 0 || r.HMTXEng.SpecAccesses == 0 {
+		t.Fatal("missing per-transaction statistics")
+	}
+}
+
+func TestWholeProgramAmdahl(t *testing.T) {
+	r := BenchResult{Spec: workloads.Spec{HotLoopPct: 50}}
+	// 2x on half the program -> 1/(0.5+0.25) = 1.333x whole program.
+	if got := r.WholeProgram(2); got < 1.32 || got > 1.34 {
+		t.Fatalf("WholeProgram(2) at 50%% = %f, want ~1.333", got)
+	}
+	r.Spec.HotLoopPct = 100
+	if got := r.WholeProgram(2); got < 1.99 || got > 2.01 {
+		t.Fatalf("WholeProgram(2) at 100%% = %f, want 2", got)
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	rs := oneBench(t)
+	for name, out := range map[string]string{
+		"Table1": Table1(rs),
+		"Fig8":   Fig8(rs),
+		"Fig9":   Fig9(rs),
+	} {
+		if !strings.Contains(out, "ispell") {
+			t.Errorf("%s missing benchmark row:\n%s", name, out)
+		}
+	}
+	if out := Table3(Default(), rs); !strings.Contains(out, "HMTX, Max R/W (All)") {
+		t.Errorf("Table3 missing HMTX row:\n%s", out)
+	}
+	if out := Table2(Default()); !strings.Contains(out, "MOESI") {
+		t.Errorf("Table2 missing protocol row:\n%s", out)
+	}
+}
+
+func TestFig1ShowsParadigmOrdering(t *testing.T) {
+	out := Fig1(4)
+	for _, want := range []string{"Sequential", "DOACROSS", "DSWP", "PS-DSWP"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Fig1 missing %s:\n%s", want, out)
+		}
+	}
+}
+
+func TestAblationSLAShowsFalseMisspeculation(t *testing.T) {
+	out := AblationSLA(Default())
+	if !strings.Contains(out, "true") || !strings.Contains(out, "false") {
+		t.Fatalf("SLA ablation must show both modes:\n%s", out)
+	}
+}
+
+func TestAblationLazyCommitSlower(t *testing.T) {
+	out := AblationLazyCommit(Default())
+	if !strings.Contains(out, "eager sweep") {
+		t.Fatalf("missing eager row:\n%s", out)
+	}
+}

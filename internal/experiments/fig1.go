@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hmtx/internal/engine"
+	"hmtx/internal/hmtx"
+	"hmtx/internal/memsys"
+	"hmtx/internal/paradigm"
+	"hmtx/internal/stats"
+)
+
+// microLoop is the linked-list-with-work loop of Figure 1: stage 1 walks the
+// list (the loop-carried dependence n_i), stage 2 performs the work w_i.
+type microLoop struct {
+	n     int
+	work  int64
+	nWork int64 // stage-1 (traversal) work
+}
+
+const (
+	f1List     = memsys.Addr(0x900000)
+	f1Head     = memsys.Addr(0x9000)
+	f1Produced = memsys.Addr(0x9040)
+	f1Out      = memsys.Addr(0x980000)
+)
+
+func (l *microLoop) Name() string { return "fig1-loop" }
+func (l *microLoop) Iters() int   { return l.n }
+
+func (l *microLoop) Setup(h *memsys.Hierarchy) {
+	for i := 0; i < l.n; i++ {
+		node := f1List + memsys.Addr(i)*memsys.LineSize
+		h.PokeWord(node, uint64(i)*7+1)
+		next := node + memsys.LineSize
+		if i == l.n-1 {
+			next = 0
+		}
+		h.PokeWord(node+8, next)
+	}
+	h.PokeWord(f1Head, uint64(f1List))
+}
+
+func (l *microLoop) Stage1(e *engine.Env, it int) bool {
+	node := e.Load(f1Head)
+	e.Store(f1Produced, node)
+	e.Compute(l.nWork)
+	next := e.Load(memsys.Addr(node) + 8)
+	e.Store(f1Head, next)
+	return next != 0
+}
+
+func (l *microLoop) Stage2(e *engine.Env, it int) bool {
+	node := e.Load(f1Produced)
+	v := e.Load(memsys.Addr(node))
+	e.Compute(l.work)
+	e.Store(f1Out+memsys.Addr(it)*memsys.LineSize, v*3)
+	return false
+}
+
+// Fig1 reproduces the execution-model comparison of Figure 1: the same loop
+// under Sequential, DOACROSS, DSWP and PS-DSWP execution. DOACROSS and DSWP
+// can profitably use only two threads' worth of parallelism (stage 1 is the
+// serial recurrence), while PS-DSWP's parallel work stage scales.
+func Fig1(cores int) string {
+	kinds := []paradigm.Kind{paradigm.Sequential, paradigm.DOACROSS, paradigm.DSWP, paradigm.PSDSWP}
+	var t stats.Table
+	t.Add("Paradigm", "Threads", "Cycles", "Speedup")
+	var seqCycles int64
+	for _, k := range kinds {
+		loop := &microLoop{n: 48, work: 2600, nWork: 320}
+		cfg := engine.DefaultConfig()
+		cfg.Mem.Cores = cores
+		sys := engine.New(cfg)
+		loop.Setup(sys.Mem)
+		out := hmtx.Run(sys, loop, k, cores)
+		if k == paradigm.Sequential {
+			seqCycles = out.Cycles
+		}
+		threads := cores
+		if k == paradigm.Sequential {
+			threads = 1
+		}
+		t.AddF(k, threads, out.Cycles, fmt.Sprintf("%.2fx", float64(seqCycles)/float64(out.Cycles)))
+	}
+	return "Figure 1: Execution paradigms on the linked-list loop (HMTX)\n" + t.String()
+}

@@ -1,0 +1,247 @@
+// Package hmtx is the software runtime for hardware multithreaded
+// transactions: it structures speculative parallel loops over the engine's
+// beginMTX/commitMTX/abortMTX primitives (§3), assigns program-ordered
+// transaction sequence numbers, enforces in-order group commit, and recovers
+// from misspeculation by rolling forward from the last committed
+// transaction — the software half of the contract described in §4.7.
+//
+// Every paradigm of Figure 1 is provided: DOALL, DOACROSS, DSWP and
+// PS-DSWP, all driven from the same paradigm.Loop decomposition.
+package hmtx
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"hmtx/internal/engine"
+	"hmtx/internal/paradigm"
+	"hmtx/internal/vid"
+)
+
+// qVIDs is the queue carrying transaction VIDs from stage 1 to stage 2
+// (produceVID/consumeVID in Figure 3).
+const qVIDs = 1
+
+// qTokBase is the base id of the DOACROSS recurrence-token queues.
+const qTokBase = 100
+
+// Outcome summarises a parallel loop execution, including any recovery
+// re-executions after misspeculation.
+type Outcome struct {
+	// Cycles is total simulated time across the initial run and every
+	// recovery run.
+	Cycles int64
+	// Iterations is the number of loop iterations that committed.
+	Iterations int
+	// Aborts counts misspeculation aborts (including the intentional
+	// squash of over-speculated iterations on an early loop exit).
+	Aborts int
+	// Runs counts engine runs (1 + recovery runs).
+	Runs int
+	// ExitedEarly reports that Stage2 terminated the loop before Iters().
+	ExitedEarly bool
+}
+
+// Run executes the loop speculatively under the given paradigm using the
+// given number of cores and returns the outcome. The system must be fresh
+// (no transactions committed yet); Setup must already have populated
+// simulated memory.
+//
+// If the region misspeculates, all uncommitted transactions roll back in the
+// memory system; Run then re-executes the first uncommitted iteration in a
+// lone transaction (the recovery code of initMTX, §3.1) and restarts the
+// pipeline after it.
+func Run(sys *engine.System, loop paradigm.Loop, kind paradigm.Kind, cores int) Outcome {
+	if kind == paradigm.Sequential {
+		cyc := paradigm.RunSequential(sys, loop)
+		return Outcome{Cycles: cyc, Iterations: loop.Iters(), Runs: 1}
+	}
+	if cores < 2 {
+		panic("hmtx: parallel paradigms need at least 2 cores")
+	}
+	d := &driver{sys: sys, loop: loop, kind: kind, cores: cores}
+	return d.run()
+}
+
+type driver struct {
+	sys     *engine.System
+	loop    paradigm.Loop
+	kind    paradigm.Kind
+	cores   int
+	exitSeq atomic.Int64
+}
+
+func (d *driver) run() Outcome {
+	var out Outcome
+	startIt := int(d.sys.LastCommitted())
+	for {
+		d.exitSeq.Store(0)
+		res := d.sys.Run(d.programs(startIt))
+		out.Cycles += res.Cycles
+		out.Runs++
+		if !res.Aborted {
+			out.Iterations = int(res.LastCommitted)
+			return out
+		}
+		out.Aborts++
+		if exit := d.exitSeq.Load(); exit != 0 && vid.Seq(exit) == res.LastCommitted {
+			// The abort was the intentional squash of iterations
+			// speculated past an early loop exit (Figure 3's
+			// abortMTX(vid+1)); the loop is done.
+			out.ExitedEarly = true
+			out.Iterations = int(res.LastCommitted)
+			return out
+		}
+		// Genuine misspeculation: re-execute the first uncommitted
+		// iteration alone, then resume the pipeline after it.
+		it := int(res.LastCommitted)
+		if it >= d.loop.Iters() {
+			out.Iterations = it
+			return out
+		}
+		var cont, exit bool
+		res2 := d.sys.Run([]engine.Program{func(e *engine.Env) {
+			seq := vid.Seq(it + 1)
+			e.Begin(seq)
+			cont = d.loop.Stage1(e, it)
+			exit = d.loop.Stage2(e, it)
+			e.Commit(seq)
+		}})
+		out.Cycles += res2.Cycles
+		out.Runs++
+		if res2.Aborted {
+			panic(fmt.Sprintf("hmtx: lone recovery transaction aborted: %s", res2.Cause))
+		}
+		if exit || !cont || it+1 >= d.loop.Iters() {
+			out.Iterations = it + 1
+			out.ExitedEarly = exit
+			return out
+		}
+		startIt = it + 1
+	}
+}
+
+func (d *driver) programs(startIt int) []engine.Program {
+	switch d.kind {
+	case paradigm.DSWP:
+		return []engine.Program{d.stage1Prog(startIt), d.stage2Prog()}
+	case paradigm.PSDSWP:
+		progs := []engine.Program{d.stage1Prog(startIt)}
+		for w := 1; w < d.cores; w++ {
+			progs = append(progs, d.stage2Prog())
+		}
+		return progs
+	case paradigm.DOALL:
+		var progs []engine.Program
+		for w := 0; w < d.cores; w++ {
+			progs = append(progs, d.doallProg(startIt, w))
+		}
+		return progs
+	case paradigm.DOACROSS:
+		var progs []engine.Program
+		for w := 0; w < d.cores; w++ {
+			progs = append(progs, d.doacrossProg(startIt, w))
+		}
+		return progs
+	default:
+		panic(fmt.Sprintf("hmtx: unsupported paradigm %v", d.kind))
+	}
+}
+
+// stage1Prog is the sequential pipeline stage: it walks the loop-carried
+// recurrence transaction by transaction, publishing each iteration's input
+// through versioned memory and its VID through the queue (Figure 3(b)).
+func (d *driver) stage1Prog(startIt int) engine.Program {
+	return func(e *engine.Env) {
+		for it := startIt; it < d.loop.Iters(); it++ {
+			seq := vid.Seq(it + 1)
+			e.Begin(seq) // may stall for a VID reset (§4.6)
+			cont := d.loop.Stage1(e, it)
+			e.Begin(0) // done with this transaction, but do not commit
+			e.Produce(qVIDs, uint64(seq))
+			if !cont {
+				break
+			}
+		}
+		e.CloseQueue(qVIDs)
+	}
+}
+
+// stage2Prog is a work-stage thread (Figure 3(c)); PS-DSWP runs several.
+func (d *driver) stage2Prog() engine.Program {
+	return func(e *engine.Env) {
+		for {
+			v, ok := e.Consume(qVIDs)
+			if !ok {
+				return
+			}
+			seq := vid.Seq(v)
+			it := int(seq) - 1
+			e.Begin(seq) // continue the transaction stage 1 started
+			exit := d.loop.Stage2(e, it)
+			e.Commit(seq)
+			if exit {
+				// The loop exit was control-flow speculated away;
+				// squash the iterations that over-speculated.
+				d.exitSeq.Store(int64(seq))
+				e.Abort(seq + 1)
+			}
+		}
+	}
+}
+
+func (d *driver) doallProg(startIt, w int) engine.Program {
+	return func(e *engine.Env) {
+		for it := startIt + w; it < d.loop.Iters(); it += d.cores {
+			seq := vid.Seq(it + 1)
+			e.Begin(seq)
+			d.loop.Stage1(e, it)
+			exit := d.loop.Stage2(e, it)
+			e.Commit(seq)
+			if exit {
+				d.exitSeq.Store(int64(seq))
+				e.Abort(seq + 1)
+			}
+		}
+	}
+}
+
+func (d *driver) doacrossProg(startIt, w int) engine.Program {
+	qOf := func(worker int) int { return qTokBase + worker }
+	return func(e *engine.Env) {
+		for it := startIt + w; it < d.loop.Iters(); it += d.cores {
+			if it > startIt {
+				// Wait for the predecessor iteration's recurrence
+				// (the loop-carried dependence, Figure 1(b)).
+				tok, ok := e.Consume(qOf(w))
+				if !ok {
+					return
+				}
+				if tok == 0 {
+					// Stop token: cascade and quit.
+					e.Produce(qOf((w+1)%d.cores), 0)
+					return
+				}
+			}
+			seq := vid.Seq(it + 1)
+			e.Begin(seq)
+			cont := d.loop.Stage1(e, it)
+			if it+1 < d.loop.Iters() {
+				tok := uint64(1)
+				if !cont {
+					tok = 0
+				}
+				e.Produce(qOf((w+1)%d.cores), tok)
+			}
+			exit := d.loop.Stage2(e, it)
+			e.Commit(seq)
+			if exit {
+				d.exitSeq.Store(int64(seq))
+				e.Abort(seq + 1)
+			}
+			if !cont {
+				return
+			}
+		}
+	}
+}

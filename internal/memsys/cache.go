@@ -1,0 +1,211 @@
+package memsys
+
+import (
+	"fmt"
+
+	"hmtx/internal/vid"
+)
+
+// cache is one cache level: a set-associative array of Lines. Multiple
+// versions of the same line (same Tag, different VID ranges) may occupy
+// different ways of the same set (§4.1).
+type cache struct {
+	name    string
+	hier    *Hierarchy
+	numSets int
+	ways    int
+	sets    [][]Line
+}
+
+func newCache(name string, size, ways int, h *Hierarchy) *cache {
+	numSets := size / (ways * LineSize)
+	c := &cache{name: name, hier: h, numSets: numSets, ways: ways}
+	c.sets = make([][]Line, numSets)
+	for i := range c.sets {
+		c.sets[i] = make([]Line, ways)
+	}
+	return c
+}
+
+func (c *cache) setIndex(lineAddr Addr) int {
+	return int((lineAddr / LineSize) % Addr(c.numSets))
+}
+
+// set returns the ways of the set holding lineAddr, with every resident
+// version of lineAddr settled against pending lazy commits.
+func (c *cache) set(lineAddr Addr) []Line {
+	s := c.sets[c.setIndex(lineAddr)]
+	h := c.hier
+	for i := range s {
+		if s[i].St != Invalid && s[i].Tag == lineAddr {
+			s[i].settle(h.epoch, h.lc, h.cfg.VIDSpace.Max())
+		}
+	}
+	return s
+}
+
+// versions returns pointers to every settled, valid version of lineAddr in
+// the cache.
+func (c *cache) versions(lineAddr Addr) []*Line {
+	s := c.set(lineAddr)
+	var out []*Line
+	for i := range s {
+		if s[i].St != Invalid && s[i].Tag == lineAddr {
+			out = append(out, &s[i])
+		}
+	}
+	return out
+}
+
+// findHit returns the unique version of lineAddr that the effective request
+// VID a hits under the rules of §4.1, or nil. If snoop is true, SpecShared
+// copies do not respond (§4.1).
+func (c *cache) findHit(lineAddr Addr, a vid.V, snoop bool) *Line {
+	var hit *Line
+	for _, ln := range c.versions(lineAddr) {
+		if snoop && ln.St == SpecShared {
+			continue
+		}
+		ok := false
+		switch {
+		case !ln.St.Speculative():
+			// A non-speculative line coexists with no speculative
+			// versions (the first speculative access converts it),
+			// so it serves every request.
+			ok = true
+		case ln.St.latest():
+			ok = a >= ln.Mod
+		case ln.St.superseded():
+			ok = ln.Mod <= a && a < ln.High
+		}
+		if !ok {
+			continue
+		}
+		if hit != nil {
+			panic(fmt.Sprintf("memsys: %s: two versions hit for %#x vid %d: %v and %v",
+				c.name, lineAddr, a, hit, ln))
+		}
+		hit = ln
+	}
+	return hit
+}
+
+// touch updates LRU bookkeeping for ln.
+func (c *cache) touch(ln *Line) {
+	c.hier.lruClock++
+	ln.lru = c.hier.lruClock
+}
+
+// victimClass ranks lines for eviction; lower evicts first. Non-speculative
+// clean lines can be silently dropped; S-O lines with modVID 0 are
+// prioritised among speculative lines because the last-level cache can
+// legally overflow them to memory (§5.4).
+func victimClass(l *Line) int {
+	switch {
+	case l.St == Invalid:
+		return 0
+	case l.St == Shared || l.St == Exclusive:
+		return 1
+	case l.St == Modified || l.St == Owned:
+		return 2
+	case l.St == SpecShared:
+		return 3 // a copy; dropping it is always safe
+	case l.St == SpecOwned && l.Mod == 0:
+		return 4
+	default:
+		return 5
+	}
+}
+
+// pickVictim chooses a way of the set holding lineAddr to evict. Sibling
+// versions of lineAddr itself are eligible but dispreferred: when a hot line
+// accumulates many live versions they spill to the next level rather than
+// blocking the insert.
+func (c *cache) pickVictim(lineAddr Addr) *Line {
+	s := c.set(lineAddr)
+	var best *Line
+	bestClass := 99
+	for i := range s {
+		ln := &s[i]
+		cl := victimClass(ln)
+		if ln.St != Invalid && ln.Tag == lineAddr {
+			cl += 10 // strongly prefer evicting unrelated lines
+		}
+		if cl < bestClass || (cl == bestClass && (best == nil || ln.lru < best.lru)) {
+			best, bestClass = ln, cl
+		}
+	}
+	return best
+}
+
+// insert places ln into the cache, returning the evicted line if a valid
+// line had to make room. The caller (the hierarchy) is responsible for
+// handling the victim: writing it back, pushing it down a level, or
+// aborting (§5.4).
+func (c *cache) insert(ln Line) (victim Line, evicted bool) {
+	// Merge with an existing copy of the same version: an S-S copy may
+	// meet its S-O/S-M original when lines migrate between levels.
+	for _, v := range c.versions(ln.Tag) {
+		if v.Mod == ln.Mod && v.St.Speculative() == ln.St.Speculative() {
+			merged := *v
+			if stateRank(ln.St) >= stateRank(v.St) {
+				merged = ln
+			}
+			if ln.High > merged.High && merged.St.latest() {
+				merged.High = ln.High
+			}
+			merged.lru = 0
+			*v = merged
+			c.touch(v)
+			return Line{}, false
+		}
+	}
+	slot := c.pickVictim(ln.Tag)
+	if slot.St != Invalid {
+		victim, evicted = *slot, true
+	}
+	*slot = ln
+	c.touch(slot)
+	return victim, evicted
+}
+
+// stateRank orders states by authority for merging duplicate copies of one
+// version: an owning state wins over a shared copy.
+func stateRank(s State) int {
+	switch s {
+	case SpecShared, Shared:
+		return 0
+	case SpecOwned, Owned:
+		return 1
+	case SpecExclusive, Exclusive:
+		return 2
+	case SpecModified, Modified:
+		return 3
+	default:
+		return -1
+	}
+}
+
+// forEach applies fn to every valid line in the cache (settled first).
+func (c *cache) forEach(fn func(*Line)) {
+	h := c.hier
+	for si := range c.sets {
+		s := c.sets[si]
+		for i := range s {
+			if s[i].St == Invalid {
+				continue
+			}
+			s[i].settle(h.epoch, h.lc, h.cfg.VIDSpace.Max())
+			if s[i].St != Invalid {
+				fn(&s[i])
+			}
+		}
+	}
+}
+
+// lineCount returns the number of valid lines (for tests and stats).
+func (c *cache) lineCount() int {
+	n := 0
+	c.forEach(func(*Line) { n++ })
+	return n
+}

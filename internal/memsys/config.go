@@ -1,0 +1,93 @@
+// Package memsys implements the simulated multicore memory hierarchy of the
+// HMTX paper: per-core L1 caches and a shared L2 connected by a snoopy bus,
+// running a MOESI coherence protocol extended with the HMTX speculative
+// states S-M, S-O, S-E and S-S (paper §4).
+//
+// The hierarchy stores real data (64-byte lines backed by a word-addressable
+// main memory), enforces the versioned hit/miss rules of §4.1, detects
+// dependence violations per §4.3, and implements lazy commits (§5.3),
+// speculative-load acknowledgments (§5.1), VID overflow/reset (§4.6) and
+// speculative overflow of non-speculative S-O copies to memory (§5.4).
+package memsys
+
+import "hmtx/internal/vid"
+
+// LineSize is the cache line size in bytes (Table 2).
+const LineSize = 64
+
+// WordSize is the access granularity of simulated loads and stores.
+const WordSize = 8
+
+// Addr is a simulated physical address.
+type Addr = uint64
+
+// Config describes the simulated hardware, defaulting to Table 2 of the
+// paper.
+type Config struct {
+	// Cores is the number of cores, each with a private L1 data cache.
+	Cores int
+
+	// L1Size and L1Ways configure each private L1 data cache.
+	L1Size, L1Ways int
+	// L2Size and L2Ways configure the shared L2 cache.
+	L2Size, L2Ways int
+
+	// L1Lat, L2Lat and MemLat are access latencies in cycles (Table 2).
+	L1Lat, L2Lat, MemLat int64
+	// BusLat is the latency of a cache-to-cache transfer or broadcast on
+	// the shared snoopy bus.
+	BusLat int64
+
+	// VIDSpace is the hardware VID width (6 bits in the paper, §4.5).
+	VIDSpace vid.Space
+
+	// SLAEnabled selects whether speculative load acknowledgments guard
+	// against branch-misprediction-induced false misspeculation (§5.1).
+	// When disabled, wrong-path loads mark cache lines directly, as in
+	// all prior systems (§7.2).
+	SLAEnabled bool
+
+	// EagerCommit disables the lazy commit scheme of §5.3: every commit
+	// sweeps all caches and transitions each speculative line
+	// immediately, paying cycles proportional to the resident lines —
+	// the naive scheme of §4.4 (and of Vachharajani's proposal, §7.1).
+	// It exists for the lazy-vs-eager ablation.
+	EagerCommit bool
+}
+
+// DefaultConfig returns the architectural configuration of Table 2:
+// 4 cores, 64KB 8-way L1s (2-cycle), a 32MB 32-way shared L2 (40-cycle),
+// 200-cycle memory, 64B lines, and 6-bit VIDs.
+func DefaultConfig() Config {
+	return Config{
+		Cores:      4,
+		L1Size:     64 << 10,
+		L1Ways:     8,
+		L2Size:     32 << 20,
+		L2Ways:     32,
+		L1Lat:      2,
+		L2Lat:      40,
+		MemLat:     200,
+		BusLat:     40,
+		VIDSpace:   vid.DefaultSpace,
+		SLAEnabled: true,
+	}
+}
+
+// Validate panics if the configuration is internally inconsistent; it is
+// called by New.
+func (c Config) validate() {
+	switch {
+	case c.Cores <= 0:
+		panic("memsys: Cores must be positive")
+	case c.L1Size <= 0 || c.L1Ways <= 0 || c.L1Size%(c.L1Ways*LineSize) != 0:
+		panic("memsys: invalid L1 geometry")
+	case c.L2Size <= 0 || c.L2Ways <= 0 || c.L2Size%(c.L2Ways*LineSize) != 0:
+		panic("memsys: invalid L2 geometry")
+	case c.VIDSpace.Bits == 0 || c.VIDSpace.Bits > 8:
+		panic("memsys: VID width must be in 1..8")
+	}
+}
+
+// LineAddr returns the line-aligned address containing addr.
+func LineAddr(addr Addr) Addr { return addr &^ (LineSize - 1) }

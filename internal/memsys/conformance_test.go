@@ -1,0 +1,174 @@
+package memsys
+
+import (
+	"testing"
+
+	"hmtx/internal/vid"
+)
+
+// This file systematically enumerates the speculative-access state machine
+// of Figure 4: for every reachable starting state of a line, it applies
+// every class of access (non-speculative read/write; speculative read/write
+// with a VID below, equal to, and above the line's marks) and checks the
+// resulting version states and conflict behaviour.
+
+// prep builds a hierarchy whose line at addrA is in the named state on
+// core 0, and returns it.
+func prep(t *testing.T, state string) *Hierarchy {
+	t.Helper()
+	h := newTestH(2)
+	switch state {
+	case "E":
+		h.PokeWord(addrA, 1)
+		mustLoad(t, h, 0, addrA, vid.NonSpec)
+	case "M":
+		mustStore(t, h, 0, addrA, 1, vid.NonSpec)
+	case "S-E(0,2)":
+		h.PokeWord(addrA, 1)
+		mustLoad(t, h, 0, addrA, 2)
+	case "S-M(0,2)": // dirty line speculatively read
+		mustStore(t, h, 0, addrA, 1, vid.NonSpec)
+		mustLoad(t, h, 0, addrA, 2)
+	case "S-M(2,2)": // speculatively written (plus its S-O(0,2) copy)
+		h.PokeWord(addrA, 1)
+		mustStore(t, h, 0, addrA, 5, 2)
+	case "S-M(2,3)": // written by 2, read by 3
+		h.PokeWord(addrA, 1)
+		mustStore(t, h, 0, addrA, 5, 2)
+		mustLoad(t, h, 0, addrA, 3)
+	default:
+		t.Fatalf("unknown prep state %q", state)
+	}
+	return h
+}
+
+func hasState(t *testing.T, h *Hierarchy, want string) bool {
+	t.Helper()
+	for c := 0; c <= 2; c++ {
+		for _, s := range states(h, c, addrA) {
+			if s == want {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func TestConformanceSpecReadTransitions(t *testing.T) {
+	cases := []struct {
+		start   string
+		readVID vid.V
+		want    string // a version state that must exist afterwards
+	}{
+		{"E", 1, "S-E(0,1)"},
+		{"M", 1, "S-M(0,1)"},
+		{"S-E(0,2)", 3, "S-E(0,3)"}, // higher VID bumps highVID
+		{"S-E(0,2)", 1, "S-E(0,2)"}, // lower VID: no bump, no new version
+		{"S-M(0,2)", 4, "S-M(0,4)"}, //
+		{"S-M(2,2)", 3, "S-M(2,3)"}, // read of the latest version
+		{"S-M(2,2)", 1, "S-O(0,2)"}, // read below modVID hits the old copy
+		{"S-M(2,3)", 2, "S-M(2,3)"}, // re-read by the writer itself
+	}
+	for _, c := range cases {
+		h := prep(t, c.start)
+		mustLoad(t, h, 0, addrA, c.readVID)
+		if !hasState(t, h, c.want) {
+			t.Errorf("%s + read vid %d: missing %s (have %v/%v/%v)",
+				c.start, c.readVID, c.want,
+				states(h, 0, addrA), states(h, 1, addrA), states(h, 2, addrA))
+		}
+	}
+}
+
+func TestConformanceSpecWriteTransitions(t *testing.T) {
+	cases := []struct {
+		start    string
+		writeVID vid.V
+		conflict bool
+		want     string
+	}{
+		{"E", 2, false, "S-M(2,2)"},
+		{"E", 2, false, "S-O(0,2)"}, // the unmodified copy is retained
+		{"M", 2, false, "S-M(2,2)"},
+		{"S-E(0,2)", 2, false, "S-M(2,2)"}, // write at own read mark
+		{"S-E(0,2)", 3, false, "S-O(0,3)"}, // S-E becomes the bounded copy
+		{"S-E(0,2)", 1, true, ""},          // below highVID: flow violation
+		{"S-M(0,2)", 1, true, ""},
+		{"S-M(2,2)", 2, false, "S-M(2,2)"}, // in-place rewrite, no new version
+		{"S-M(2,2)", 3, false, "S-O(2,3)"}, // superseded version retained
+		{"S-M(2,2)", 3, false, "S-M(3,3)"},
+		{"S-M(2,3)", 2, true, ""}, // read by 3: writer 2 may not write again
+		{"S-M(2,3)", 3, false, "S-M(3,3)"},
+	}
+	for _, c := range cases {
+		h := prep(t, c.start)
+		res := h.Store(0, addrA, 99, c.writeVID)
+		if res.Conflict != c.conflict {
+			t.Errorf("%s + write vid %d: conflict = %v, want %v (%s)",
+				c.start, c.writeVID, res.Conflict, c.conflict, res.Cause)
+			continue
+		}
+		if !c.conflict && !hasState(t, h, c.want) {
+			t.Errorf("%s + write vid %d: missing %s (have %v)",
+				c.start, c.writeVID, c.want, states(h, 0, addrA))
+		}
+	}
+}
+
+func TestConformanceNonSpecAccess(t *testing.T) {
+	// Non-speculative accesses use VID = LC VID for hit logic (§5.3) and
+	// must always observe the committed image.
+	for _, start := range []string{"S-M(2,2)", "S-M(2,3)", "S-E(0,2)"} {
+		h := prep(t, start)
+		if got := mustLoad(t, h, 1, addrA, vid.NonSpec); got != 1 {
+			t.Errorf("%s: nonspec read = %d, want committed 1", start, got)
+		}
+		// A non-speculative write would race the speculation: conflict.
+		if res := h.Store(1, addrA, 7, vid.NonSpec); !res.Conflict {
+			t.Errorf("%s: nonspec write must conflict with live speculation", start)
+		}
+	}
+}
+
+func TestConformanceCommitFromEveryState(t *testing.T) {
+	// After committing every outstanding VID, each starting state must
+	// settle to a non-speculative state holding the right data, with no
+	// speculative versions anywhere.
+	cases := []struct {
+		start string
+		upTo  vid.V
+		want  uint64
+	}{
+		{"S-E(0,2)", 2, 1},
+		{"S-M(0,2)", 2, 1},
+		{"S-M(2,2)", 2, 5},
+		{"S-M(2,3)", 3, 5},
+	}
+	for _, c := range cases {
+		h := prep(t, c.start)
+		for v := vid.V(1); v <= c.upTo; v++ {
+			h.Commit(v)
+		}
+		if got := mustLoad(t, h, 1, addrA, vid.NonSpec); got != c.want {
+			t.Errorf("%s committed: read %d, want %d", c.start, got, c.want)
+		}
+		mustLoad(t, h, 0, addrA, vid.NonSpec) // settle core 0's copies too
+		for cidx := 0; cidx <= 2; cidx++ {
+			for _, s := range states(h, cidx, addrA) {
+				if s[0] == 'S' && s[1] == '-' {
+					t.Errorf("%s committed: speculative line %s in cache %d", c.start, s, cidx)
+				}
+			}
+		}
+	}
+}
+
+func TestConformanceAbortFromEveryState(t *testing.T) {
+	for _, start := range []string{"S-E(0,2)", "S-M(0,2)", "S-M(2,2)", "S-M(2,3)"} {
+		h := prep(t, start)
+		h.AbortAll()
+		if got := mustLoad(t, h, 1, addrA, vid.NonSpec); got != 1 {
+			t.Errorf("%s aborted: read %d, want original 1", start, got)
+		}
+	}
+}

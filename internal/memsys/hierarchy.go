@@ -1,0 +1,802 @@
+package memsys
+
+import (
+	"fmt"
+
+	"hmtx/internal/vid"
+)
+
+// Hierarchy is the simulated memory system: per-core L1 caches and a shared
+// L2 connected by a snoopy bus, backed by main memory, running the HMTX
+// coherence protocol (§4).
+//
+// The hierarchy is exclusive between levels: a line version lives in at most
+// one of {some L1, the L2} at a time, except for SpecShared (and Shared)
+// copies, which may replicate a version held elsewhere.
+type Hierarchy struct {
+	cfg      Config
+	l1s      []*cache
+	l2       *cache
+	mem      *memory
+	lc       vid.V  // latest committed VID (LC VID register, §5.3)
+	epoch    uint64 // VID epoch, advanced by VID Reset (§4.6)
+	lruClock uint64
+	stats    Stats
+	tracker  Tracker
+
+	// pendingOverflow records that a speculative line was evicted past
+	// the last-level cache during the current operation, forcing an
+	// abort (§5.4).
+	pendingOverflow bool
+}
+
+// New builds a hierarchy for the given configuration.
+func New(cfg Config) *Hierarchy {
+	cfg.validate()
+	h := &Hierarchy{cfg: cfg, mem: newMemory()}
+	for i := 0; i < cfg.Cores; i++ {
+		h.l1s = append(h.l1s, newCache(fmt.Sprintf("L1.%d", i), cfg.L1Size, cfg.L1Ways, h))
+	}
+	h.l2 = newCache("L2", cfg.L2Size, cfg.L2Ways, h)
+	return h
+}
+
+// SetTracker installs the per-transaction activity tracker (may be nil).
+func (h *Hierarchy) SetTracker(t Tracker) { h.tracker = t }
+
+// Stats returns the accumulated event counters.
+func (h *Hierarchy) Stats() *Stats { return &h.stats }
+
+// Config returns the hierarchy's configuration.
+func (h *Hierarchy) Config() Config { return h.cfg }
+
+// LC returns the latest committed VID.
+func (h *Hierarchy) LC() vid.V { return h.lc }
+
+// CurrentEpoch returns the current VID epoch.
+func (h *Hierarchy) CurrentEpoch() uint64 { return h.epoch }
+
+// Result reports the outcome of a memory-system operation.
+type Result struct {
+	// Lat is the operation latency in cycles.
+	Lat int64
+	// Conflict indicates the operation detected misspeculation; the
+	// caller must abort all uncommitted transactions (§4.4).
+	Conflict bool
+	// Cause describes the misspeculation for diagnostics.
+	Cause string
+	// NeedsSLA reports that this speculative load must send a
+	// speculative load acknowledgment when its branch resolves (§5.1).
+	NeedsSLA bool
+}
+
+func (h *Hierarchy) allCaches() []*cache { return append(append([]*cache{}, h.l1s...), h.l2) }
+
+// Load performs a load by the given core. a is the VID of the issuing
+// transaction (vid.NonSpec for non-speculative execution).
+func (h *Hierarchy) Load(core int, addr Addr, a vid.V) (uint64, Result) {
+	return h.load(core, addr, a, true)
+}
+
+// WrongPathLoad performs a squashed branch-speculative load (§5.1): data
+// moves through the caches, but no line is marked with the VID. The marks
+// that *would* have been made are shadow-recorded to count the false
+// misspeculations SLAs avoid (Table 1).
+func (h *Hierarchy) WrongPathLoad(core int, addr Addr, a vid.V) (uint64, Result) {
+	h.stats.WrongPathLoads++
+	if !h.cfg.SLAEnabled {
+		// Ablation: prior systems mark lines directly from squashed
+		// loads (§7.2), risking false misspeculation.
+		return h.load(core, addr, a, true)
+	}
+	return h.load(core, addr, a, false)
+}
+
+func (h *Hierarchy) load(core int, addr Addr, a vid.V, mark bool) (uint64, Result) {
+	la := LineAddr(addr)
+	spec := a != vid.NonSpec
+	eff := a
+	if !spec {
+		eff = h.lc
+	}
+	res := Result{Lat: h.cfg.L1Lat}
+	if spec && mark {
+		h.stats.SpecLoads++
+	}
+	l1 := h.l1s[core]
+
+	if ln := l1.findHit(la, eff, false); ln != nil {
+		h.stats.L1Hits++
+		l1.touch(ln)
+		val := ln.Word(addr)
+		if spec {
+			h.localLoadMark(core, l1, ln, la, a, mark, &res)
+		}
+		h.checkOverflow(&res)
+		return val, res
+	}
+
+	h.stats.BusMessages++
+	res.Lat += h.cfg.BusLat
+
+	if owner, oc := h.snoop(core, la, eff); owner != nil {
+		if oc == h.l2 {
+			res.Lat += h.cfg.L2Lat
+			h.stats.L2Hits++
+		} else {
+			h.stats.PeerTransfers++
+		}
+		val := owner.Word(addr)
+		h.remoteLoadMark(core, owner, oc, la, a, eff, mark, &res)
+		h.checkOverflow(&res)
+		return val, res
+	}
+
+	// Missed every cache: fill from main memory.
+	res.Lat += h.cfg.L2Lat + h.cfg.MemLat
+	h.stats.MemReads++
+	data := h.mem.read(la)
+	var val uint64
+	{
+		tmp := Line{Tag: la, Data: data}
+		val = tmp.Word(addr)
+	}
+	nl := Line{Tag: la, St: Exclusive, Epoch: h.epoch, SettledLC: h.lc, Data: data}
+	switch {
+	case h.anySpecModAbove(la, eff):
+		// §5.4: a speculatively modified version exists with a higher
+		// modVID, so the non-speculative S-O copy this request should
+		// have hit was overflowed to memory. Reconstitute it.
+		if !mark {
+			// A squashed load leaves no versioned metadata behind.
+			h.checkOverflow(&res)
+			return val, res
+		}
+		nl.St = SpecOwned
+		nl.Mod = 0
+		nl.High = eff + 1
+	case spec && mark:
+		nl.St = SpecExclusive
+		nl.High = a
+		h.trackLoad(core, la, &res)
+	}
+	installed := h.install(l1, nl)
+	if spec && !mark {
+		h.shadowMark(core, installed, la, a)
+	}
+	h.checkOverflow(&res)
+	return val, res
+}
+
+// localLoadMark applies speculative-read marking to a line that hit in the
+// requester's own L1.
+func (h *Hierarchy) localLoadMark(core int, l1 *cache, ln *Line, la Addr, a vid.V, mark bool, res *Result) {
+	if !mark {
+		h.shadowMark(core, ln, la, a)
+		return
+	}
+	switch {
+	case !ln.St.Speculative():
+		// Writable (M or E) access must be gained before the line can
+		// be marked (§4.2): upgrade away shared copies if necessary.
+		if ln.St == Shared || ln.St == Owned {
+			h.stats.BusMessages++
+			res.Lat += h.cfg.BusLat
+			h.invalidateNonSpecCopies(la, ln)
+			if ln.St == Owned {
+				ln.St = Modified
+			} else {
+				ln.St = Exclusive
+			}
+		}
+		h.specReadTransition(ln, a)
+		h.trackLoad(core, la, res)
+	case ln.St.latest():
+		if a > ln.High {
+			ln.High = a
+		}
+		h.trackLoad(core, la, res)
+	default: // S-O or S-S: serving a bounded old version; no bump needed
+		h.trackLoad(core, la, res)
+	}
+}
+
+// remoteLoadMark handles a load served by a peer L1 or by the L2.
+func (h *Hierarchy) remoteLoadMark(core int, owner *Line, oc *cache, la Addr, a, eff vid.V, mark bool, res *Result) {
+	l1 := h.l1s[core]
+	spec := a != vid.NonSpec
+	if !mark {
+		h.shadowMark(core, owner, la, a)
+		return
+	}
+	switch {
+	case !owner.St.Speculative():
+		if spec {
+			// Migrate the line to the requester with writable
+			// access, then mark it (§4.2).
+			moved := h.migrate(la, owner, oc)
+			nl := h.install(l1, moved)
+			h.specReadTransition(nl, a)
+			h.trackLoad(core, la, res)
+			return
+		}
+		// Classic MOESI read sharing / refill.
+		if oc == h.l2 {
+			moved := *owner
+			owner.St = Invalid
+			h.install(l1, moved)
+			return
+		}
+		cp := *owner
+		switch owner.St {
+		case Modified:
+			owner.St = Owned
+			cp.St = Shared
+		case Exclusive:
+			owner.St = Shared
+			cp.St = Shared
+		default:
+			cp.St = Shared
+		}
+		h.install(l1, cp)
+	case owner.St.latest():
+		// The owner's highVID tracks the globally highest accessor,
+		// so it must be bumped here; the requester keeps an S-S copy
+		// bounded at a+1 so that *later* VIDs re-snoop and bump the
+		// owner again rather than being served silently.
+		if eff > owner.High {
+			owner.High = eff
+		}
+		cp := *owner
+		cp.St = SpecShared
+		cp.High = eff + 1
+		h.install(l1, cp)
+		if spec {
+			h.trackLoad(core, la, res)
+		}
+	default: // SpecOwned: bounded old version; copy its exact range
+		cp := *owner
+		cp.St = SpecShared
+		h.install(l1, cp)
+		if spec {
+			h.trackLoad(core, la, res)
+		}
+	}
+}
+
+// specReadTransition converts a writable non-speculative line into its
+// speculatively read counterpart: M -> S-M(0,a), E -> S-E(0,a) (Figure 4).
+func (h *Hierarchy) specReadTransition(ln *Line, a vid.V) {
+	switch ln.St {
+	case Modified, Owned:
+		ln.St = SpecModified
+	case Exclusive, Shared:
+		ln.St = SpecExclusive
+	default:
+		panic(fmt.Sprintf("memsys: specReadTransition on %v", ln))
+	}
+	ln.Mod = 0
+	ln.High = a
+	ln.Epoch = h.epoch
+	ln.SettledLC = h.lc
+}
+
+// shadowMark records what a squashed wrong-path load would have marked.
+func (h *Hierarchy) shadowMark(core int, ln *Line, la Addr, a vid.V) {
+	if a == vid.NonSpec {
+		return
+	}
+	if ln.shadow(h.epoch) < a {
+		ln.ShadowHigh = a
+		ln.ShadowEpoch = h.epoch
+	}
+	if h.tracker != nil {
+		h.tracker.WrongPath(core, la)
+	}
+}
+
+// trackLoad records the speculative load in the transaction's read set and
+// decides whether an SLA must be sent (§5.1): only the first access to a
+// line by a given transaction needs one.
+func (h *Hierarchy) trackLoad(core int, la Addr, res *Result) {
+	if h.tracker == nil {
+		return
+	}
+	if already := h.tracker.SpecTouch(core, la, false); !already {
+		res.NeedsSLA = true
+		h.stats.SLAsSent++
+	}
+}
+
+// Store performs a store by the given core with transaction VID a.
+func (h *Hierarchy) Store(core int, addr Addr, val uint64, a vid.V) Result {
+	la := LineAddr(addr)
+	spec := a != vid.NonSpec
+	eff := a
+	if !spec {
+		eff = h.lc
+	}
+	res := Result{Lat: h.cfg.L1Lat}
+	if spec {
+		h.stats.SpecStores++
+	}
+
+	// Dependence check (§4.3): a store must be the latest access to the
+	// line; any version with a higher accessor VID means a later
+	// transaction already read or wrote it.
+	maxHigh, maxShadow := h.scanHighs(la)
+	if maxShadow > eff && maxHigh <= eff {
+		// Only a squashed wrong-path load "accessed" the line later:
+		// without SLAs this would be a false misspeculation (§5.1).
+		h.stats.AvoidedAborts++
+		if h.tracker != nil {
+			h.tracker.AvoidedAbort(core)
+		}
+		h.clearShadows(la)
+	}
+	if maxHigh > eff {
+		res.Conflict = true
+		res.Cause = fmt.Sprintf("store vid %d to line %#x already accessed by vid %d", a, la, maxHigh)
+		return res
+	}
+
+	l1 := h.l1s[core]
+	hit := l1.findHit(la, eff, false)
+	oc := l1
+	if hit != nil && hit.St == SpecShared {
+		// An S-S copy cannot serve a store: the write must reach the
+		// owning version (whose highVID carries the global accessor
+		// mark) over the bus. The stale copy is capped below.
+		hit = nil
+	}
+	if hit != nil {
+		h.stats.L1Hits++
+	} else {
+		h.stats.BusMessages++
+		res.Lat += h.cfg.BusLat
+		hit, oc = h.snoop(core, la, eff)
+		switch {
+		case hit == nil:
+		case oc == h.l2:
+			res.Lat += h.cfg.L2Lat
+			h.stats.L2Hits++
+		default:
+			h.stats.PeerTransfers++
+		}
+	}
+
+	var data [LineSize]byte
+	fromMem := hit == nil
+	if fromMem {
+		res.Lat += h.cfg.L2Lat + h.cfg.MemLat
+		h.stats.MemReads++
+		data = h.mem.read(la)
+	} else {
+		data = hit.Data
+	}
+
+	if spec && h.tracker != nil {
+		h.tracker.SpecTouch(core, la, true)
+	}
+
+	switch {
+	case !spec:
+		// Plain MOESI write: gain Modified in the requester. Lingering
+		// S-S copies of the committed version being overwritten must
+		// not survive to serve stale data; dropping them is always
+		// safe.
+		h.dropSpecSharedCopies(la)
+		var ln *Line
+		switch {
+		case fromMem:
+			ln = h.install(l1, Line{Tag: la, St: Modified, Epoch: h.epoch, SettledLC: h.lc, Data: data})
+		case oc == l1 && (hit.St == Modified || hit.St == Exclusive):
+			ln = hit
+			ln.St = Modified
+			l1.touch(ln)
+		default:
+			if hit.St.Speculative() {
+				panic(fmt.Sprintf("memsys: non-speculative store hit speculative %v despite maxHigh check", hit))
+			}
+			moved := h.migrate(la, hit, oc)
+			moved.St = Modified
+			ln = h.install(l1, moved)
+		}
+		ln.SetWord(addr, val)
+
+	case hit != nil && hit.St.latest() && hit.Mod == a:
+		// The transaction re-writes its own version: write in place,
+		// migrating it to this core if another thread of the same
+		// transaction created it (§5.2 allows thread migration).
+		// S-S copies of this version elsewhere are now stale; capping
+		// their range at a empties it, so peers re-snoop.
+		h.capSpecSharedCopies(la, a, a, hit)
+		if oc == l1 {
+			hit.SetWord(addr, val)
+			l1.touch(hit)
+		} else {
+			moved := *hit
+			hit.St = Invalid
+			moved.SetWord(addr, val)
+			h.install(l1, moved)
+		}
+
+	default:
+		// Create a new version S-M(a,a); the unmodified copy remains
+		// in S-O with highVID = a (§4.1, Figure 4).
+		var oldMod vid.V
+		switch {
+		case fromMem:
+			h.install(l1, Line{Tag: la, St: SpecOwned, Mod: 0, High: a, Epoch: h.epoch, SettledLC: h.lc, Data: data})
+		case hit.St.Speculative():
+			// S-M or S-E; S-O/S-S are excluded by the maxHigh check.
+			oldMod = hit.Mod
+			hit.St = SpecOwned
+			hit.High = a
+			h.capSpecSharedCopies(la, oldMod, a, hit)
+		default:
+			// Non-speculative version: gain writable access, then
+			// keep it as the unmodified S-O(0,a) copy.
+			if oc == l1 && (hit.St == Modified || hit.St == Exclusive) {
+				hit.St = SpecOwned
+				hit.Mod = 0
+				hit.High = a
+				hit.Epoch = h.epoch
+				hit.SettledLC = h.lc
+			} else {
+				moved := h.migrate(la, hit, oc)
+				moved.St = SpecOwned
+				moved.Mod = 0
+				moved.High = a
+				h.install(l1, moved)
+			}
+		}
+		nl := Line{Tag: la, St: SpecModified, Mod: a, High: a, Epoch: h.epoch, SettledLC: h.lc, Data: data}
+		nl.SetWord(addr, val)
+		h.install(l1, nl)
+		h.stats.VersionsCreated++
+	}
+
+	h.checkOverflow(&res)
+	return res
+}
+
+// SLA replays a speculative load acknowledgment (§5.1): it verifies that the
+// value originally loaded by the (now branch-committed) load still matches
+// the version the VID would access, then marks the line. A mismatch means an
+// intervening conflicting store occurred and triggers misspeculation.
+func (h *Hierarchy) SLA(core int, addr Addr, a vid.V, expected uint64) Result {
+	val, res := h.load(core, addr, a, true)
+	if val != expected {
+		res.Conflict = true
+		res.Cause = fmt.Sprintf("SLA mismatch at %#x vid %d: loaded %#x, now %#x", addr, a, expected, val)
+	}
+	return res
+}
+
+// Commit atomically group-commits transaction v across all caches by
+// advancing the LC VID register (§5.3); individual lines settle lazily.
+// Commits must occur consecutively (§4.7).
+func (h *Hierarchy) Commit(v vid.V) Result {
+	if v != h.lc+1 {
+		panic(fmt.Sprintf("memsys: commit of vid %d but LC VID is %d; commits must be consecutive", v, h.lc))
+	}
+	h.lc = v
+	h.stats.Commits++
+	h.stats.BusMessages++
+	lat := h.cfg.BusLat
+	if h.cfg.EagerCommit {
+		// Naive commit processing (§4.4, §7.1): every cache frame must
+		// be examined and transitioned on every commit, whether or not
+		// it holds speculative state — the cost Vachharajani's
+		// proposal pays and lazy commits avoid.
+		frames := 0
+		for _, c := range h.allCaches() {
+			frames += c.numSets * c.ways
+			c.forEach(func(*Line) {}) // settle everything now
+		}
+		lat += int64(frames / 8) // 8 frames examined per cycle
+	}
+	return Result{Lat: lat}
+}
+
+// AbortAll flushes every uncommitted transaction from the cache system
+// (§4.4). Pending lazy commits are settled first so committed-but-unsettled
+// lines survive. The LC VID is unchanged; software restarts the aborted
+// transactions reusing the VIDs above LC.
+func (h *Hierarchy) AbortAll() Result {
+	h.stats.Aborts++
+	h.stats.BusMessages++
+	for _, c := range h.allCaches() {
+		c.forEach(func(ln *Line) {
+			ln.applyAbort()
+			ln.ShadowHigh, ln.ShadowEpoch = 0, 0
+		})
+	}
+	h.pendingOverflow = false
+	return Result{Lat: h.cfg.BusLat}
+}
+
+// VIDReset begins a new VID epoch (§4.6). It is only legal once every
+// outstanding transaction has committed; the software allocator enforces
+// this. Lines from the previous epoch settle as fully committed on next
+// touch.
+func (h *Hierarchy) VIDReset() Result {
+	h.epoch++
+	h.lc = 0
+	h.stats.VIDResets++
+	h.stats.BusMessages++
+	return Result{Lat: h.cfg.BusLat}
+}
+
+// snoop broadcasts a request for lineAddr on the bus and returns the unique
+// responding version (S-S copies do not respond, §4.1). For non-speculative
+// data several Shared copies may exist; the highest-authority one responds.
+func (h *Hierarchy) snoop(core int, lineAddr Addr, eff vid.V) (*Line, *cache) {
+	var best *Line
+	var bestCache *cache
+	consider := func(ln *Line, c *cache) {
+		if best == nil {
+			best, bestCache = ln, c
+			return
+		}
+		if best.St.Speculative() || ln.St.Speculative() {
+			// Two speculative responders are only legal if they are
+			// copies of the same version (same modVID), e.g. after a
+			// §5.4 S-O reconstitution; prefer the wider range.
+			if best.Mod != ln.Mod || !best.St.Speculative() || !ln.St.Speculative() {
+				panic(fmt.Sprintf("memsys: two snoop responders for %#x vid %d: %v and %v", lineAddr, eff, best, ln))
+			}
+			if ln.High > best.High || stateRank(ln.St) > stateRank(best.St) {
+				best, bestCache = ln, c
+			}
+			return
+		}
+		if stateRank(ln.St) > stateRank(best.St) {
+			best, bestCache = ln, c
+		}
+	}
+	for i, c := range h.l1s {
+		if i == core {
+			continue
+		}
+		if ln := c.findHit(lineAddr, eff, true); ln != nil {
+			consider(ln, c)
+		}
+	}
+	if ln := h.l2.findHit(lineAddr, eff, true); ln != nil {
+		consider(ln, h.l2)
+	}
+	return best, bestCache
+}
+
+// migrate removes every non-speculative copy of lineAddr from the system and
+// returns a writable line (M if any copy was dirty, E otherwise) ready to be
+// installed in the requester's L1.
+func (h *Hierarchy) migrate(lineAddr Addr, owner *Line, oc *cache) Line {
+	moved := *owner
+	dirty := owner.St == Modified || owner.St == Owned
+	for _, c := range h.allCaches() {
+		for _, v := range c.versions(lineAddr) {
+			if v.St.Speculative() {
+				continue
+			}
+			if v.St == Modified || v.St == Owned {
+				dirty = true
+			}
+			v.St = Invalid
+		}
+	}
+	if dirty {
+		moved.St = Modified
+	} else {
+		moved.St = Exclusive
+	}
+	return moved
+}
+
+// invalidateNonSpecCopies invalidates every non-speculative copy of lineAddr
+// except keep (a local upgrade, §4.2).
+func (h *Hierarchy) invalidateNonSpecCopies(lineAddr Addr, keep *Line) {
+	for _, c := range h.allCaches() {
+		for _, v := range c.versions(lineAddr) {
+			if v != keep && !v.St.Speculative() {
+				v.St = Invalid
+			}
+		}
+	}
+}
+
+// capSpecSharedCopies bounds every S-S copy of the version with modVID
+// oldMod at the new store's VID, so stale copies cannot serve VIDs that must
+// observe the new version.
+func (h *Hierarchy) capSpecSharedCopies(lineAddr Addr, oldMod, a vid.V, except *Line) {
+	for _, c := range h.allCaches() {
+		for _, v := range c.versions(lineAddr) {
+			if v != except && v.St == SpecShared && v.Mod == oldMod && v.High > a {
+				v.High = a
+			}
+		}
+	}
+}
+
+// dropSpecSharedCopies invalidates every S-S copy of lineAddr.
+func (h *Hierarchy) dropSpecSharedCopies(lineAddr Addr) {
+	for _, c := range h.allCaches() {
+		for _, v := range c.versions(lineAddr) {
+			if v.St == SpecShared {
+				v.St = Invalid
+			}
+		}
+	}
+}
+
+// scanHighs returns the highest accessor VID of any speculative version of
+// lineAddr anywhere in the hierarchy, and the highest wrong-path shadow
+// mark. Only latest versions (S-M/S-E) carry true accessor marks: the
+// highVID of S-O/S-S lines is a version-range bound (the modVID of the next
+// version, or a re-snoop bound on copies), and that next version's own
+// highVID subsumes it.
+func (h *Hierarchy) scanHighs(lineAddr Addr) (maxHigh, maxShadow vid.V) {
+	for _, c := range h.allCaches() {
+		for _, v := range c.versions(lineAddr) {
+			if v.St.latest() && v.High > maxHigh {
+				maxHigh = v.High
+			}
+			if s := v.shadow(h.epoch); s > maxShadow {
+				maxShadow = s
+			}
+		}
+	}
+	return maxHigh, maxShadow
+}
+
+func (h *Hierarchy) clearShadows(lineAddr Addr) {
+	for _, c := range h.allCaches() {
+		for _, v := range c.versions(lineAddr) {
+			v.ShadowHigh, v.ShadowEpoch = 0, 0
+		}
+	}
+}
+
+// anySpecModAbove reports whether any cache holds a speculatively modified
+// version of lineAddr with modVID above eff — the §5.4 "this address was
+// speculatively modified" snoop assertion.
+func (h *Hierarchy) anySpecModAbove(lineAddr Addr, eff vid.V) bool {
+	for _, c := range h.allCaches() {
+		for _, v := range c.versions(lineAddr) {
+			if v.St.Speculative() && v.Mod > eff {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// install places ln into cache c, handling the eviction cascade: L1 victims
+// that carry state flow to the L2; L2 victims flow to memory or force an
+// abort (§5.4). It returns a pointer to the resident line.
+func (h *Hierarchy) install(c *cache, ln Line) *Line {
+	ln.lru = 0
+	// The line may carry a pending lazy commit (e.g. a victim evicted
+	// after the transactions that marked it committed): settle it first;
+	// a fully committed superseded version simply disappears.
+	ln.settle(h.epoch, h.lc, h.cfg.VIDSpace.Max())
+	if ln.St == Invalid {
+		return nil
+	}
+	victim, evicted := c.insert(ln)
+	if evicted {
+		h.placeVictim(victim, c)
+	}
+	// Locate the resident line (insert may have merged with a copy).
+	for _, v := range c.versions(ln.Tag) {
+		if v.St.Speculative() == ln.St.Speculative() && v.Mod == ln.Mod {
+			return v
+		}
+	}
+	panic(fmt.Sprintf("memsys: %s: installed line %v not found", c.name, &ln))
+}
+
+// placeVictim handles an evicted line. Clean non-speculative lines and S-S
+// copies vanish silently; everything else evicted from an L1 moves to the
+// L2. At the last level, dirty non-speculative lines and S-O copies with
+// modVID 0 write back to memory (§5.4); any other speculative line forces an
+// abort.
+func (h *Hierarchy) placeVictim(v Line, from *cache) {
+	if v.St == SpecShared {
+		return // a bounded copy; the owning version lives elsewhere
+	}
+	if from != h.l2 {
+		// L1 victims — clean or dirty, speculative or not — move to
+		// the L2 (clean-victim caching keeps hot read-only data such
+		// as shared tables from round-tripping to memory).
+		h.install(h.l2, v)
+		return
+	}
+	switch {
+	case v.St == Shared || v.St == Exclusive:
+		return // clean, memory holds the same data
+	case v.St == Modified || v.St == Owned:
+		h.mem.write(v.Tag, v.Data)
+		h.stats.MemWrites++
+	case v.St == SpecOwned && v.Mod == 0:
+		h.mem.write(v.Tag, v.Data)
+		h.stats.MemWrites++
+		h.stats.SOWritebacks++
+	default:
+		h.stats.OverflowAborts++
+		h.pendingOverflow = true
+	}
+}
+
+func (h *Hierarchy) checkOverflow(res *Result) {
+	if h.pendingOverflow {
+		res.Conflict = true
+		res.Cause = "speculative line overflowed the last-level cache (§5.4)"
+		h.pendingOverflow = false
+	}
+}
+
+// PeekWord returns the committed value at addr without affecting timing or
+// state. It is a host-side helper for verification and workload setup.
+func (h *Hierarchy) PeekWord(addr Addr) uint64 {
+	la := LineAddr(addr)
+	var best *Line
+	bestRank := -1
+	for _, c := range h.allCaches() {
+		if ln := c.findHit(la, h.lc, false); ln != nil {
+			if r := stateRank(ln.St); r > bestRank {
+				best, bestRank = ln, r
+			}
+		}
+	}
+	if best != nil {
+		return best.Word(addr)
+	}
+	return h.mem.word(addr)
+}
+
+// PokeWord writes the committed value at addr directly, bypassing timing.
+// It must not be used while the line is speculatively accessed.
+func (h *Hierarchy) PokeWord(addr Addr, val uint64) {
+	la := LineAddr(addr)
+	for _, c := range h.allCaches() {
+		for _, v := range c.versions(la) {
+			if v.St.Speculative() {
+				panic(fmt.Sprintf("memsys: PokeWord(%#x) on speculatively accessed line %v", addr, v))
+			}
+			v.SetWord(addr, val)
+		}
+	}
+	h.mem.setWord(addr, val)
+}
+
+// Versions returns copies of every valid version of the line containing
+// addr held by the given cache (0..Cores-1 are the L1s, Cores is the L2),
+// for tests and the cachetrace example.
+func (h *Hierarchy) Versions(cacheIdx int, addr Addr) []Line {
+	caches := h.allCaches()
+	var out []Line
+	for _, v := range caches[cacheIdx].versions(LineAddr(addr)) {
+		out = append(out, *v)
+	}
+	return out
+}
+
+// FlushCommitted writes every dirty non-speculative line back to memory so
+// that main memory holds the full committed image. It panics if speculative
+// lines remain; call it only after all transactions have committed.
+func (h *Hierarchy) FlushCommitted() {
+	for _, c := range h.allCaches() {
+		c.forEach(func(ln *Line) {
+			if ln.St.Speculative() {
+				panic(fmt.Sprintf("memsys: FlushCommitted with live speculative line %v", ln))
+			}
+			if ln.St == Modified || ln.St == Owned {
+				h.mem.write(ln.Tag, ln.Data)
+				h.stats.MemWrites++
+			}
+		})
+	}
+}

@@ -1,0 +1,52 @@
+package memsys
+
+// memory is the simulated main memory: a sparse map of 64-byte lines.
+// Absent lines read as zero, matching demand-zeroed pages.
+type memory struct {
+	lines map[Addr]*[LineSize]byte
+}
+
+func newMemory() *memory { return &memory{lines: make(map[Addr]*[LineSize]byte)} }
+
+func (m *memory) read(lineAddr Addr) [LineSize]byte {
+	if p, ok := m.lines[lineAddr]; ok {
+		return *p
+	}
+	return [LineSize]byte{}
+}
+
+func (m *memory) write(lineAddr Addr, data [LineSize]byte) {
+	p, ok := m.lines[lineAddr]
+	if !ok {
+		p = new([LineSize]byte)
+		m.lines[lineAddr] = p
+	}
+	*p = data
+}
+
+func (m *memory) word(addr Addr) uint64 {
+	la := LineAddr(addr)
+	p, ok := m.lines[la]
+	if !ok {
+		return 0
+	}
+	off := addr - la
+	var v uint64
+	for i := 0; i < WordSize; i++ {
+		v |= uint64(p[off+Addr(i)]) << (8 * i)
+	}
+	return v
+}
+
+func (m *memory) setWord(addr Addr, val uint64) {
+	la := LineAddr(addr)
+	p, ok := m.lines[la]
+	if !ok {
+		p = new([LineSize]byte)
+		m.lines[la] = p
+	}
+	off := addr - la
+	for i := 0; i < WordSize; i++ {
+		p[off+Addr(i)] = byte(val >> (8 * i))
+	}
+}

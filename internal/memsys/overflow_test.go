@@ -1,0 +1,119 @@
+package memsys
+
+import (
+	"testing"
+
+	"hmtx/internal/vid"
+)
+
+// tinyConfig is a deliberately miniature hierarchy (256B L1s, 1KB L2) used
+// to force evictions and exercise the §5.4 overflow machinery.
+func tinyConfig(cores int) Config {
+	cfg := DefaultConfig()
+	cfg.Cores = cores
+	cfg.L1Size = 256 // 2 sets x 2 ways
+	cfg.L1Ways = 2
+	cfg.L2Size = 1024 // 4 sets x 4 ways
+	cfg.L2Ways = 4
+	return cfg
+}
+
+// TestSOOverflowAndReconstitution drives the §5.4 path: the non-speculative
+// S-O(0,·) copy of a speculatively modified line is evicted all the way to
+// memory, and a later low-VID request retrieves it from memory in
+// S-O(0,vid+1).
+func TestSOOverflowAndReconstitution(t *testing.T) {
+	h := New(tinyConfig(2))
+	h.PokeWord(addrA, 111)
+
+	// VID 2 speculatively modifies addrA: S-O(0,2) + S-M(2,2).
+	mustStore(t, h, 0, addrA, 222, 2)
+
+	// Fill the same L1 and L2 sets with more speculative version pairs:
+	// non-speculative lines would be preferred victims, but among
+	// speculative lines the S-O(0) copies overflow to memory first.
+	for i := 1; h.Stats().SOWritebacks == 0 && i < 16; i++ {
+		mustStore(t, h, 0, addrA+Addr(i*256), uint64(i), 2)
+	}
+	if h.Stats().SOWritebacks == 0 {
+		t.Fatal("S-O(0) copy was never overflowed to memory")
+	}
+
+	// A VID 1 read must still find the pre-modification value: the
+	// request misses everywhere, the S-M line asserts the address was
+	// speculatively modified, and memory supplies the S-O copy.
+	if got := mustLoad(t, h, 1, addrA, 1); got != 111 {
+		t.Fatalf("reconstituted S-O read = %d, want 111", got)
+	}
+	// And the speculative version is still intact.
+	if got := mustLoad(t, h, 1, addrA, 2); got != 222 {
+		t.Fatalf("speculative version read = %d, want 222", got)
+	}
+	h.Commit(1)
+	h.Commit(2)
+	if got := h.PeekWord(addrA); got != 222 {
+		t.Fatalf("committed value = %d, want 222", got)
+	}
+}
+
+// TestSpeculativeOverflowAborts verifies that evicting a speculatively
+// modified line past the last-level cache forces an abort (§5.4) and that
+// the abort restores the committed state.
+func TestSpeculativeOverflowAborts(t *testing.T) {
+	h := New(tinyConfig(1))
+	conflicted := false
+	for i := 0; i < 4096 && !conflicted; i++ {
+		res := h.Store(0, Addr(0x200000+i*LineSize), uint64(i)+1, 3)
+		conflicted = res.Conflict
+	}
+	if !conflicted {
+		t.Fatal("speculative working set exceeding the LLC never aborted")
+	}
+	if h.Stats().OverflowAborts == 0 {
+		t.Fatal("OverflowAborts not counted")
+	}
+	h.AbortAll()
+	// All speculative data must be gone.
+	for i := 0; i < 4096; i++ {
+		if got := h.PeekWord(Addr(0x200000 + i*LineSize)); got != 0 {
+			t.Fatalf("aborted store to line %d visible: %d", i, got)
+		}
+	}
+}
+
+// TestVictimPriority checks that the LLC prefers overflowing S-O(0) lines to
+// aborting on other speculative lines (§5.4).
+func TestVictimPriority(t *testing.T) {
+	h := New(tinyConfig(1))
+	// Two versioned lines in the same L2 set region.
+	mustStore(t, h, 0, addrA, 1, 1)
+	// Fill with clean non-speculative lines: evictions should never
+	// abort, because clean lines and the S-O(0) copy go first.
+	h.PokeWord(0x300000, 9)
+	for i := 0; i < 64; i++ {
+		mustLoad(t, h, 0, Addr(0x300000+i*LineSize), vid.NonSpec)
+	}
+	if h.Stats().OverflowAborts != 0 {
+		t.Fatalf("evictions aborted despite non-speculative victims being available")
+	}
+	if got := mustLoad(t, h, 0, addrA, 1); got != 1 {
+		t.Fatalf("speculative line lost: got %d, want 1", got)
+	}
+}
+
+// TestEvictionPreservesSpeculativeReadMarks ensures S-E lines are not
+// silently dropped on L1 eviction: the highVID marking must survive in the
+// L2 so later conflicting stores are still detected.
+func TestEvictionPreservesSpeculativeReadMarks(t *testing.T) {
+	h := New(tinyConfig(1))
+	h.PokeWord(addrA, 5)
+	mustLoad(t, h, 0, addrA, 3) // S-E(0,3)
+	// Push it out of the L1 with conflicting non-speculative lines.
+	for i := 1; i <= 8; i++ {
+		mustLoad(t, h, 0, addrA+Addr(i*256), vid.NonSpec)
+	}
+	// The mark must still cause a conflict for an earlier-VID store.
+	if res := h.Store(0, addrA, 6, 2); !res.Conflict {
+		t.Fatal("speculative read mark lost during L1 eviction")
+	}
+}

@@ -1,0 +1,287 @@
+package memsys
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hmtx/internal/vid"
+)
+
+// refMem is the sequential reference: a flat map applied in program order.
+type refMem map[Addr]uint64
+
+func (r refMem) load(a Addr) uint64     { return r[a] }
+func (r refMem) store(a Addr, v uint64) { r[a] = v }
+
+// TestPropertySequentialSemantics drives random transactional schedules and
+// checks that speculative execution preserves the original program's
+// sequential semantics (§4.3): every load observes exactly the value the
+// sequential program would, and the final committed memory image matches.
+//
+// Transactions execute in VID order but hop between cores arbitrarily and
+// commit lazily (up to 3 transactions outstanding), exercising uncommitted
+// value forwarding, cross-cache version migration, and lazy commit settling.
+func TestPropertySequentialSemantics(t *testing.T) {
+	if err := quick.Check(seqSemanticsProp(t), &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(7))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSeqSemanticsRegressions pins seeds that exposed protocol bugs during
+// development.
+func TestSeqSemanticsRegressions(t *testing.T) {
+	f := seqSemanticsProp(t)
+	for _, seed := range []int64{-8807290172161495414, 0, 1, 42} {
+		if !f(seed) {
+			t.Fatalf("seed %d failed", seed)
+		}
+	}
+}
+
+func seqSemanticsProp(t *testing.T) func(int64) bool {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := newTestH(4)
+		ref := make(refMem)
+		pool := make([]Addr, 24)
+		for i := range pool {
+			// A handful of lines, several words per line, so
+			// transactions collide on lines constantly.
+			pool[i] = Addr(0x4000 + (i%6)*LineSize + (i/6)*WordSize)
+		}
+		nTx := 1 + rng.Intn(20)
+		committed := vid.V(0)
+		for tx := 1; tx <= nTx; tx++ {
+			v := vid.V(tx)
+			nOps := 1 + rng.Intn(12)
+			for op := 0; op < nOps; op++ {
+				core := rng.Intn(4)
+				addr := pool[rng.Intn(len(pool))]
+				if rng.Intn(2) == 0 {
+					got, res := h.Load(core, addr, v)
+					if res.Conflict {
+						t.Logf("seed %d: unexpected conflict: %s", seed, res.Cause)
+						return false
+					}
+					if got != ref.load(addr) {
+						t.Logf("seed %d: tx %d load %#x = %d, want %d", seed, tx, addr, got, ref.load(addr))
+						return false
+					}
+				} else {
+					val := rng.Uint64()
+					if res := h.Store(core, addr, val, v); res.Conflict {
+						t.Logf("seed %d: unexpected store conflict: %s", seed, res.Cause)
+						return false
+					}
+					ref.store(addr, val)
+				}
+			}
+			// Commit lazily: keep up to 3 transactions outstanding.
+			for committed+3 < vid.V(tx+1) {
+				committed++
+				h.Commit(committed)
+			}
+		}
+		for committed < vid.V(nTx) {
+			committed++
+			h.Commit(committed)
+		}
+		for _, a := range pool {
+			if got := h.PeekWord(a); got != ref.load(a) {
+				t.Logf("seed %d: final %#x = %d, want %d", seed, a, got, ref.load(a))
+				return false
+			}
+		}
+		return true
+	}
+	return f
+}
+
+// TestPropertyPipelinedStages models the DSWP access pattern: stage 1 of
+// transaction i runs ahead of stage 2 of transaction i-1 (out-of-order
+// between pipeline stages, in-order per stage), with stage 2 reading values
+// forwarded from stage 1 of the same uncommitted transaction.
+func TestPropertyPipelinedStages(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := newTestH(4)
+		iters := 2 + rng.Intn(15)
+		const prodAddr = Addr(0x8000) // "producedNode": one shared cell, one version per tx
+		const accAddr = Addr(0x9000)  // accumulator written by stage 2 in order
+		recur := Addr(0xA000)         // recurrence cell owned by stage 1
+
+		type pending struct {
+			tx  int
+			val uint64
+		}
+		var queue []pending
+		acc := uint64(0)
+		next := 1 // next tx for stage 1
+		done := 1 // next tx for stage 2
+
+		runStage2 := func(p pending) bool {
+			v := vid.V(p.tx)
+			got, res := h.Load(1+rng.Intn(3), prodAddr, v)
+			if res.Conflict || got != p.val {
+				t.Logf("seed %d: stage2 tx %d read %d, want %d (conflict=%v)", seed, p.tx, got, p.val, res.Conflict)
+				return false
+			}
+			cur, _ := h.Load(1+rng.Intn(3), accAddr, v)
+			if cur != acc {
+				t.Logf("seed %d: stage2 tx %d acc read %d, want %d", seed, p.tx, cur, acc)
+				return false
+			}
+			acc = cur + got
+			if res := h.Store(1+rng.Intn(3), accAddr, acc, v); res.Conflict {
+				t.Logf("seed %d: acc store conflict: %s", seed, res.Cause)
+				return false
+			}
+			h.Commit(v)
+			return true
+		}
+
+		for done <= iters {
+			// Randomly run stage 1 ahead (bounded pipeline depth).
+			if next <= iters && len(queue) < 4 && (rng.Intn(2) == 0 || done == next) {
+				v := vid.V(next)
+				// Stage 1 walks its recurrence and produces a value.
+				old, _ := h.Load(0, recur, v)
+				val := old*3 + uint64(next)
+				if res := h.Store(0, recur, val, v); res.Conflict {
+					t.Logf("seed %d: recurrence store conflict: %s", seed, res.Cause)
+					return false
+				}
+				if res := h.Store(0, prodAddr, val, v); res.Conflict {
+					t.Logf("seed %d: produce store conflict: %s", seed, res.Cause)
+					return false
+				}
+				queue = append(queue, pending{next, val})
+				next++
+				continue
+			}
+			if len(queue) == 0 {
+				continue
+			}
+			if !runStage2(queue[0]) {
+				return false
+			}
+			queue = queue[1:]
+			done++
+		}
+		// Verify the final accumulator matches a sequential execution.
+		want := uint64(0)
+		r := uint64(0)
+		for i := 1; i <= iters; i++ {
+			r = r*3 + uint64(i)
+			want += r
+		}
+		if got := h.PeekWord(accAddr); got != want {
+			t.Logf("seed %d: final acc %d, want %d", seed, got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(7))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyAbortRestoresCommittedPrefix aborts a random schedule midway
+// and checks that exactly the committed prefix survives.
+func TestPropertyAbortRestoresCommittedPrefix(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := newTestH(2)
+		ref := make(refMem)       // state after every executed tx
+		refCommit := make(refMem) // state after committed prefix only
+		nTx := 2 + rng.Intn(10)
+		abortAt := 1 + rng.Intn(nTx)
+		committed := 0
+		for tx := 1; tx <= nTx; tx++ {
+			v := vid.V(tx)
+			for op := 0; op < 4; op++ {
+				addr := Addr(0x4000 + rng.Intn(8)*WordSize)
+				val := rng.Uint64()
+				if res := h.Store(rng.Intn(2), addr, val, v); res.Conflict {
+					return false
+				}
+				ref.store(addr, val)
+			}
+			if tx <= abortAt-1 && rng.Intn(2) == 0 {
+				for committed < tx {
+					committed++
+					h.Commit(vid.V(committed))
+				}
+				for a, vl := range ref {
+					refCommit[a] = vl
+				}
+			}
+			if tx == abortAt {
+				h.AbortAll()
+				for a := Addr(0x4000); a < 0x4000+8*WordSize; a += WordSize {
+					if got := h.PeekWord(a); got != refCommit[a] {
+						t.Logf("seed %d: post-abort %#x = %d, want %d", seed, a, got, refCommit[a])
+						return false
+					}
+				}
+				return true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(7))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyTinyCacheEvictions reruns the sequential-semantics property on
+// a miniature hierarchy so lines constantly migrate between levels and S-O
+// copies overflow to memory. Overflow-forced aborts of speculative lines are
+// legal; everything else must behave identically.
+func TestPropertyTinyCacheEvictions(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := New(tinyConfig(2))
+		ref := make(refMem)
+		nTx := 1 + rng.Intn(8)
+		committed := vid.V(0)
+		for tx := 1; tx <= nTx; tx++ {
+			v := vid.V(tx)
+			for op := 0; op < 8; op++ {
+				// Spread across many lines to force evictions.
+				addr := Addr(0x4000 + rng.Intn(64)*LineSize)
+				if rng.Intn(2) == 0 {
+					got, res := h.Load(rng.Intn(2), addr, v)
+					if res.Conflict {
+						return h.Stats().OverflowAborts > 0 // legal forced abort
+					}
+					if got != ref.load(addr) {
+						t.Logf("seed %d: load %#x = %d, want %d", seed, addr, got, ref.load(addr))
+						return false
+					}
+				} else {
+					val := rng.Uint64()
+					res := h.Store(rng.Intn(2), addr, val, v)
+					if res.Conflict {
+						return h.Stats().OverflowAborts > 0
+					}
+					ref.store(addr, val)
+				}
+			}
+			committed++
+			h.Commit(committed)
+		}
+		for i := 0; i < 64; i++ {
+			a := Addr(0x4000 + i*LineSize)
+			if got := h.PeekWord(a); got != ref.load(a) {
+				t.Logf("seed %d: final %#x = %d, want %d", seed, a, got, ref.load(a))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(7))}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,589 @@
+package memsys
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"hmtx/internal/vid"
+)
+
+const addrA = Addr(0x1000)
+
+func newTestH(cores int) *Hierarchy {
+	cfg := DefaultConfig()
+	cfg.Cores = cores
+	return New(cfg)
+}
+
+// states returns the version states of the line containing addr in the given
+// cache, sorted by modVID, formatted as in the paper ("S-M(2,2)").
+func states(h *Hierarchy, cacheIdx int, addr Addr) []string {
+	vs := h.Versions(cacheIdx, addr)
+	sort.Slice(vs, func(i, j int) bool {
+		if vs[i].Mod != vs[j].Mod {
+			return vs[i].Mod < vs[j].Mod
+		}
+		return vs[i].High < vs[j].High
+	})
+	var out []string
+	for i := range vs {
+		out = append(out, vs[i].String())
+	}
+	return out
+}
+
+func wantStates(t *testing.T, h *Hierarchy, cacheIdx int, addr Addr, want ...string) {
+	t.Helper()
+	got := states(h, cacheIdx, addr)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("cache %d line %#x: got %v, want %v", cacheIdx, addr, got, want)
+	}
+}
+
+func mustLoad(t *testing.T, h *Hierarchy, core int, addr Addr, a vid.V) uint64 {
+	t.Helper()
+	v, res := h.Load(core, addr, a)
+	if res.Conflict {
+		t.Fatalf("unexpected conflict on load core=%d addr=%#x vid=%d: %s", core, addr, a, res.Cause)
+	}
+	return v
+}
+
+func mustStore(t *testing.T, h *Hierarchy, core int, addr Addr, val uint64, a vid.V) {
+	t.Helper()
+	res := h.Store(core, addr, val, a)
+	if res.Conflict {
+		t.Fatalf("unexpected conflict on store core=%d addr=%#x vid=%d: %s", core, addr, a, res.Cause)
+	}
+}
+
+// --- Figure 4: speculative access transitions -------------------------------
+
+func TestFig4SpecReadOnCleanLine(t *testing.T) {
+	h := newTestH(2)
+	h.PokeWord(addrA, 7)
+	if got := mustLoad(t, h, 0, addrA, 1); got != 7 {
+		t.Fatalf("load = %d, want 7", got)
+	}
+	wantStates(t, h, 0, addrA, "S-E(0,1)")
+}
+
+func TestFig4SpecReadOnDirtyLine(t *testing.T) {
+	h := newTestH(2)
+	mustStore(t, h, 0, addrA, 5, vid.NonSpec) // line becomes M
+	wantStates(t, h, 0, addrA, "M(0,0)")
+	if got := mustLoad(t, h, 0, addrA, 2); got != 5 {
+		t.Fatalf("load = %d, want 5", got)
+	}
+	wantStates(t, h, 0, addrA, "S-M(0,2)")
+}
+
+func TestFig4SpecWriteCreatesUnmodifiedCopy(t *testing.T) {
+	h := newTestH(2)
+	h.PokeWord(addrA, 1)
+	mustStore(t, h, 0, addrA, 2, 1)
+	wantStates(t, h, 0, addrA, "S-O(0,1)", "S-M(1,1)")
+	// Reads of the old and new versions see the right data.
+	if got := mustLoad(t, h, 0, addrA, vid.NonSpec); got != 1 {
+		t.Fatalf("nonspec load = %d, want 1 (write-after-read avoided)", got)
+	}
+	if got := mustLoad(t, h, 0, addrA, 1); got != 2 {
+		t.Fatalf("vid 1 load = %d, want 2", got)
+	}
+}
+
+func TestFig4SpecWriteSameVIDInPlace(t *testing.T) {
+	h := newTestH(2)
+	mustStore(t, h, 0, addrA, 10, 3)
+	mustStore(t, h, 0, addrA, 11, 3)
+	wantStates(t, h, 0, addrA, "S-O(0,3)", "S-M(3,3)")
+	if got := mustLoad(t, h, 0, addrA, 3); got != 11 {
+		t.Fatalf("load = %d, want 11", got)
+	}
+	if h.Stats().VersionsCreated != 1 {
+		t.Fatalf("VersionsCreated = %d, want 1 (in-place rewrite)", h.Stats().VersionsCreated)
+	}
+}
+
+func TestFig4SpecWriteHigherVIDCreatesNewVersion(t *testing.T) {
+	h := newTestH(2)
+	mustStore(t, h, 0, addrA, 10, 1)
+	mustStore(t, h, 0, addrA, 20, 2)
+	wantStates(t, h, 0, addrA, "S-O(0,1)", "S-O(1,2)", "S-M(2,2)")
+	if got := mustLoad(t, h, 0, addrA, 1); got != 10 {
+		t.Fatalf("vid1 load = %d, want 10", got)
+	}
+	if got := mustLoad(t, h, 0, addrA, 2); got != 20 {
+		t.Fatalf("vid2 load = %d, want 20", got)
+	}
+	if got := mustLoad(t, h, 0, addrA, 3); got != 20 {
+		t.Fatalf("vid3 load = %d, want 20 (sees latest)", got)
+	}
+}
+
+func TestFig4SpecWriteLowerVIDAborts(t *testing.T) {
+	h := newTestH(2)
+	mustStore(t, h, 0, addrA, 10, 2)
+	res := h.Store(0, addrA, 99, 1)
+	if !res.Conflict {
+		t.Fatal("store vid 1 after store vid 2 should conflict (output dependence)")
+	}
+}
+
+func TestFig4SpecWriteToReadLineLowerVIDAborts(t *testing.T) {
+	h := newTestH(2)
+	mustLoad(t, h, 0, addrA, 3)
+	res := h.Store(0, addrA, 99, 2)
+	if !res.Conflict {
+		t.Fatal("store vid 2 to line read by vid 3 should conflict (flow dependence)")
+	}
+}
+
+func TestFig4SpecReadUpgradesSharedLine(t *testing.T) {
+	h := newTestH(2)
+	h.PokeWord(addrA, 9)
+	// Both cores read non-speculatively: two Shared copies.
+	mustLoad(t, h, 0, addrA, vid.NonSpec)
+	mustLoad(t, h, 1, addrA, vid.NonSpec)
+	wantStates(t, h, 0, addrA, "S(0,0)")
+	wantStates(t, h, 1, addrA, "S(0,0)")
+	// Speculative read on core 0 gains exclusivity first (§4.2).
+	mustLoad(t, h, 0, addrA, 1)
+	wantStates(t, h, 0, addrA, "S-E(0,1)")
+	wantStates(t, h, 1, addrA)
+}
+
+// --- Figure 5: the worked two-cache example ---------------------------------
+
+func TestFig5Walkthrough(t *testing.T) {
+	h := newTestH(2)
+	h.PokeWord(addrA, 100)
+
+	// (1) Thread 1 (core 0), next-iteration stage, VID 1: r1 = M[0xa].
+	if got := mustLoad(t, h, 0, addrA, 1); got != 100 {
+		t.Fatalf("step 1 load = %d, want 100", got)
+	}
+	wantStates(t, h, 0, addrA, "S-E(0,1)")
+
+	// (2) VID 1: M[0xa] = M[r1] (store).
+	mustStore(t, h, 0, addrA, 101, 1)
+	wantStates(t, h, 0, addrA, "S-O(0,1)", "S-M(1,1)")
+
+	// (3) VID 2 on the same core: load then store.
+	if got := mustLoad(t, h, 0, addrA, 2); got != 101 {
+		t.Fatalf("step 3 load = %d, want 101 (uncommitted value forwarding)", got)
+	}
+	mustStore(t, h, 0, addrA, 102, 2)
+	wantStates(t, h, 0, addrA, "S-O(0,1)", "S-O(1,2)", "S-M(2,2)")
+
+	// (4) Thread 2 (core 1), work stage, VID 1: r1 = M[0xa]. Broadcast
+	// hits the S-O(1,2) version in cache 0; core 1 receives a bounded
+	// copy.
+	if got := mustLoad(t, h, 1, addrA, 1); got != 101 {
+		t.Fatalf("step 4 load = %d, want 101 (vid 1 must not see vid 2's update)", got)
+	}
+	wantStates(t, h, 1, addrA, "S-S(1,2)")
+
+	// A vid >= 2 access would hit the S-M(2,2) version instead.
+	if got := mustLoad(t, h, 1, addrA, 2); got != 102 {
+		t.Fatalf("vid 2 load from core 1 = %d, want 102", got)
+	}
+
+	// (5) Thread 2 commits VID 1. Lines settle lazily on next touch.
+	h.Commit(1)
+	if got := mustLoad(t, h, 0, addrA, 2); got != 102 {
+		t.Fatalf("post-commit vid 2 load = %d, want 102", got)
+	}
+	// S-O(0,1): high 1 <= LC 1, discarded. S-O(1,2): mod committed ->
+	// S-O(0,2). S-M(2,2) still speculative.
+	wantStates(t, h, 0, addrA, "S-O(0,2)", "S-M(2,2)")
+}
+
+// --- §4.3 dependence orderings ----------------------------------------------
+
+// Flow dependence, store first: load with higher VID sees the store.
+func TestFlowDependenceStoreFirst(t *testing.T) {
+	h := newTestH(2)
+	mustStore(t, h, 0, addrA, 42, 2)
+	if got := mustLoad(t, h, 1, addrA, 3); got != 42 {
+		t.Fatalf("load vid 3 = %d, want 42 (uncommitted value forwarding)", got)
+	}
+}
+
+// Flow dependence, load first: the late store must trigger misspeculation.
+func TestFlowDependenceLoadFirst(t *testing.T) {
+	h := newTestH(2)
+	mustLoad(t, h, 1, addrA, 3)
+	if res := h.Store(0, addrA, 42, 2); !res.Conflict {
+		t.Fatal("store vid 2 after load vid 3 must conflict")
+	}
+}
+
+// Anti dependence, load first: the later store creates a new version and the
+// old load's version survives.
+func TestAntiDependenceLoadFirst(t *testing.T) {
+	h := newTestH(2)
+	h.PokeWord(addrA, 7)
+	if got := mustLoad(t, h, 0, addrA, 2); got != 7 {
+		t.Fatal("initial load wrong")
+	}
+	mustStore(t, h, 1, addrA, 9, 3)
+	if got := mustLoad(t, h, 0, addrA, 2); got != 7 {
+		t.Fatalf("vid 2 reload = %d, want 7 (write-after-read hazard avoided)", got)
+	}
+	if got := mustLoad(t, h, 1, addrA, 3); got != 9 {
+		t.Fatalf("vid 3 load = %d, want 9", got)
+	}
+}
+
+// Anti dependence, store first: the earlier load hits the preserved S-O copy
+// and no false misspeculation occurs.
+func TestAntiDependenceStoreFirst(t *testing.T) {
+	h := newTestH(2)
+	h.PokeWord(addrA, 7)
+	mustStore(t, h, 1, addrA, 9, 3)
+	if got := mustLoad(t, h, 0, addrA, 2); got != 7 {
+		t.Fatalf("vid 2 load = %d, want 7 (must not see vid 3's store)", got)
+	}
+}
+
+// Output dependence in order: both versions coexist.
+func TestOutputDependenceInOrder(t *testing.T) {
+	h := newTestH(2)
+	mustStore(t, h, 0, addrA, 1, 1)
+	mustStore(t, h, 1, addrA, 2, 2)
+	if got := mustLoad(t, h, 0, addrA, 1); got != 1 {
+		t.Fatalf("vid 1 load = %d, want 1", got)
+	}
+	if got := mustLoad(t, h, 1, addrA, 2); got != 2 {
+		t.Fatalf("vid 2 load = %d, want 2", got)
+	}
+}
+
+// Output dependence out of order: conservative misspeculation.
+func TestOutputDependenceOutOfOrder(t *testing.T) {
+	h := newTestH(2)
+	mustStore(t, h, 1, addrA, 2, 2)
+	if res := h.Store(0, addrA, 1, 1); !res.Conflict {
+		t.Fatal("store vid 1 after store vid 2 must conflict")
+	}
+}
+
+// --- Group commit and uncommitted value forwarding across caches ------------
+
+func TestGroupCommitAcrossCaches(t *testing.T) {
+	h := newTestH(4)
+	addrB := addrA + 4096
+	// One transaction (VID 1) writes from two different cores.
+	mustStore(t, h, 0, addrA, 11, 1)
+	mustStore(t, h, 2, addrB, 22, 1)
+	// Before commit, non-speculative execution sees old values.
+	if got := mustLoad(t, h, 3, addrA, vid.NonSpec); got != 0 {
+		t.Fatalf("pre-commit nonspec read = %d, want 0", got)
+	}
+	h.Commit(1)
+	// After the single commit, both cores' modifications are visible.
+	if got := mustLoad(t, h, 3, addrA, vid.NonSpec); got != 11 {
+		t.Fatalf("post-commit read A = %d, want 11", got)
+	}
+	if got := mustLoad(t, h, 3, addrB, vid.NonSpec); got != 22 {
+		t.Fatalf("post-commit read B = %d, want 22", got)
+	}
+}
+
+func TestUncommittedValueForwardingAcrossCaches(t *testing.T) {
+	h := newTestH(2)
+	// Stage 1 on core 0 produces a value inside transaction 5's version.
+	mustStore(t, h, 0, addrA, 0xBEEF, 5)
+	// Stage 2 on core 1 continues the same transaction and sees it.
+	if got := mustLoad(t, h, 1, addrA, 5); got != 0xBEEF {
+		t.Fatalf("same-transaction cross-core load = %#x, want 0xBEEF", got)
+	}
+	// A later transaction also sees it (forwarding to later VIDs).
+	if got := mustLoad(t, h, 1, addrA, 6); got != 0xBEEF {
+		t.Fatalf("later-transaction load = %#x, want 0xBEEF", got)
+	}
+}
+
+func TestSameTransactionCrossCoreRewrite(t *testing.T) {
+	h := newTestH(2)
+	mustStore(t, h, 0, addrA, 1, 4)
+	mustStore(t, h, 1, addrA, 2, 4) // same VID, different core: migrate, in place
+	if got := mustLoad(t, h, 0, addrA, 4); got != 2 {
+		t.Fatalf("vid 4 load = %d, want 2", got)
+	}
+	if h.Stats().VersionsCreated != 1 {
+		t.Fatalf("VersionsCreated = %d, want 1", h.Stats().VersionsCreated)
+	}
+}
+
+// --- Figure 6: commit transitions -------------------------------------------
+
+func TestFig6CommitTransitions(t *testing.T) {
+	h := newTestH(2)
+	h.PokeWord(addrA, 1)
+	addrB := addrA + 4096
+	addrC := addrA + 8192
+
+	mustStore(t, h, 0, addrA, 2, 1) // S-O(0,1) + S-M(1,1)
+	mustLoad(t, h, 0, addrB, 1)     // S-E(0,1)
+	mustStore(t, h, 0, addrC, 3, 1)
+	mustLoad(t, h, 0, addrC, 2) // S-M(1,2): read by a later VID
+
+	h.Commit(1)
+
+	// Touch all lines to settle them.
+	if got := mustLoad(t, h, 1, addrA, vid.NonSpec); got != 2 {
+		t.Fatalf("committed A = %d, want 2", got)
+	}
+	mustLoad(t, h, 0, addrB, vid.NonSpec)
+	mustLoad(t, h, 0, addrC, vid.NonSpec)
+
+	// addrB was only read: S-E -> E (clean, no writeback needed).
+	wantStates(t, h, 0, addrB, "E(0,0)")
+	// addrC: committed data, but still marked by uncommitted reader 2.
+	wantStates(t, h, 0, addrC, "S-M(0,2)")
+}
+
+func TestCommitMustBeConsecutive(t *testing.T) {
+	h := newTestH(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-consecutive commit should panic")
+		}
+	}()
+	h.Commit(2)
+}
+
+// --- Figure 7: abort transitions --------------------------------------------
+
+func TestFig7AbortTransitions(t *testing.T) {
+	h := newTestH(2)
+	h.PokeWord(addrA, 1)
+	addrB := addrA + 4096
+
+	mustStore(t, h, 0, addrA, 99, 1) // S-O(0,1)+S-M(1,1): modified version dies
+	mustLoad(t, h, 0, addrB, 1)      // S-E(0,1): survives as E
+
+	h.AbortAll()
+
+	if got := mustLoad(t, h, 1, addrA, vid.NonSpec); got != 1 {
+		t.Fatalf("post-abort A = %d, want original 1", got)
+	}
+	wantStates(t, h, 0, addrB, "E(0,0)")
+	// No speculative lines anywhere.
+	for c := 0; c <= 2; c++ {
+		for _, s := range states(h, c, addrA) {
+			if s[0] == 'S' && s[1] == '-' {
+				t.Fatalf("cache %d still holds speculative line %s after abort", c, s)
+			}
+		}
+	}
+}
+
+func TestAbortPreservesPendingLazyCommits(t *testing.T) {
+	h := newTestH(2)
+	mustStore(t, h, 0, addrA, 123, 1)
+	h.Commit(1) // lazy: line not yet settled
+	mustStore(t, h, 0, addrA+4096, 7, 2)
+	h.AbortAll() // aborts VID 2; VID 1's committed data must survive
+	if got := mustLoad(t, h, 0, addrA, vid.NonSpec); got != 123 {
+		t.Fatalf("committed-but-unsettled data lost on abort: got %d, want 123", got)
+	}
+	if got := mustLoad(t, h, 0, addrA+4096, vid.NonSpec); got != 0 {
+		t.Fatalf("aborted store survived: got %d, want 0", got)
+	}
+}
+
+// --- Lazy commit equivalence (§5.3) ----------------------------------------
+
+func TestLazyCommitMatchesEagerSemantics(t *testing.T) {
+	h := newTestH(2)
+	// Build a chain of versions, commit some, and verify every
+	// subsequent access behaves as if commit processing were eager.
+	for v := vid.V(1); v <= 5; v++ {
+		mustStore(t, h, int(v)%2, addrA, uint64(v)*10, v)
+	}
+	h.Commit(1)
+	h.Commit(2)
+	h.Commit(3)
+	// Non-speculative read sees VID 3's data.
+	if got := mustLoad(t, h, 0, addrA, vid.NonSpec); got != 30 {
+		t.Fatalf("nonspec read = %d, want 30", got)
+	}
+	// Speculative readers of uncommitted versions still see theirs.
+	if got := mustLoad(t, h, 1, addrA, 4); got != 40 {
+		t.Fatalf("vid 4 read = %d, want 40", got)
+	}
+	if got := mustLoad(t, h, 0, addrA, 5); got != 50 {
+		t.Fatalf("vid 5 read = %d, want 50", got)
+	}
+	h.Commit(4)
+	h.Commit(5)
+	if got := mustLoad(t, h, 1, addrA, vid.NonSpec); got != 50 {
+		t.Fatalf("final nonspec read = %d, want 50", got)
+	}
+}
+
+// --- VID reset (§4.6) --------------------------------------------------------
+
+func TestVIDResetPreservesCommittedState(t *testing.T) {
+	h := newTestH(2)
+	max := h.Config().VIDSpace.Max()
+	for v := vid.V(1); v <= max; v++ {
+		mustStore(t, h, 0, addrA, uint64(v), v)
+		h.Commit(v)
+	}
+	h.VIDReset()
+	if got := mustLoad(t, h, 1, addrA, vid.NonSpec); got != uint64(max) {
+		t.Fatalf("post-reset nonspec read = %d, want %d", got, max)
+	}
+	// New epoch transactions start from VID 1 again.
+	mustStore(t, h, 0, addrA, 999, 1)
+	if got := mustLoad(t, h, 1, addrA, 1); got != 999 {
+		t.Fatalf("new-epoch vid 1 read = %d, want 999", got)
+	}
+	if got := mustLoad(t, h, 1, addrA, vid.NonSpec); got != uint64(max) {
+		t.Fatalf("new-epoch nonspec read = %d, want %d", got, max)
+	}
+	h.Commit(1)
+	if got := mustLoad(t, h, 1, addrA, vid.NonSpec); got != 999 {
+		t.Fatalf("after new-epoch commit: got %d, want 999", got)
+	}
+}
+
+// --- SLAs (§5.1) -------------------------------------------------------------
+
+func TestWrongPathLoadDoesNotMark(t *testing.T) {
+	h := newTestH(2)
+	h.PokeWord(addrA, 5)
+	if v, _ := h.WrongPathLoad(0, addrA, 3); v != 5 {
+		t.Fatalf("wrong-path load = %d, want 5", v)
+	}
+	// A store by an earlier VID must NOT conflict: the line was only
+	// touched by a squashed load.
+	if res := h.Store(1, addrA, 6, 2); res.Conflict {
+		t.Fatalf("false misspeculation despite SLA filtering: %s", res.Cause)
+	}
+	if h.Stats().AvoidedAborts != 1 {
+		t.Fatalf("AvoidedAborts = %d, want 1", h.Stats().AvoidedAborts)
+	}
+}
+
+func TestWrongPathLoadWithoutSLAMarksAndAborts(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Cores = 2
+	cfg.SLAEnabled = false
+	h := New(cfg)
+	h.PokeWord(addrA, 5)
+	h.WrongPathLoad(0, addrA, 3)
+	if res := h.Store(1, addrA, 6, 2); !res.Conflict {
+		t.Fatal("without SLAs a squashed load must cause false misspeculation")
+	}
+}
+
+func TestSLAVerifiesValue(t *testing.T) {
+	h := newTestH(2)
+	h.PokeWord(addrA, 5)
+	// Branch-speculative load observed 5.
+	v, _ := h.WrongPathLoad(0, addrA, 3)
+	// Another transaction with the same VID path commits a conflicting
+	// value before the branch resolves... here simulated by a same-VID
+	// store from the same transaction changing the value.
+	mustStore(t, h, 1, addrA, 6, 3)
+	if res := h.SLA(0, addrA, 3, v); !res.Conflict {
+		t.Fatal("SLA with stale value must trigger misspeculation")
+	}
+}
+
+func TestSLAMatchingValueMarks(t *testing.T) {
+	h := newTestH(2)
+	h.PokeWord(addrA, 5)
+	v, _ := h.WrongPathLoad(0, addrA, 3)
+	if res := h.SLA(0, addrA, 3, v); res.Conflict {
+		t.Fatalf("SLA with matching value conflicted: %s", res.Cause)
+	}
+	// The line is now marked: an earlier-VID store conflicts.
+	if res := h.Store(1, addrA, 9, 2); !res.Conflict {
+		t.Fatal("store below SLA-marked VID must conflict")
+	}
+}
+
+// --- Non-speculative MOESI behaviour is preserved (§4.1) ---------------------
+
+func TestPlainMOESISharing(t *testing.T) {
+	h := newTestH(3)
+	mustStore(t, h, 0, addrA, 5, vid.NonSpec)
+	wantStates(t, h, 0, addrA, "M(0,0)")
+	mustLoad(t, h, 1, addrA, vid.NonSpec)
+	wantStates(t, h, 0, addrA, "O(0,0)")
+	wantStates(t, h, 1, addrA, "S(0,0)")
+	mustLoad(t, h, 2, addrA, vid.NonSpec)
+	wantStates(t, h, 2, addrA, "S(0,0)")
+	// A write from core 2 invalidates the other copies.
+	mustStore(t, h, 2, addrA, 6, vid.NonSpec)
+	wantStates(t, h, 0, addrA)
+	wantStates(t, h, 1, addrA)
+	wantStates(t, h, 2, addrA, "M(0,0)")
+	if got := mustLoad(t, h, 0, addrA, vid.NonSpec); got != 6 {
+		t.Fatalf("read after migrate = %d, want 6", got)
+	}
+}
+
+func TestNonSpecStoreToSpeculativeLineConflicts(t *testing.T) {
+	h := newTestH(2)
+	mustLoad(t, h, 0, addrA, 2)
+	if res := h.Store(1, addrA, 1, vid.NonSpec); !res.Conflict {
+		t.Fatal("non-speculative store racing a speculative reader must conflict")
+	}
+}
+
+// --- Peek/Poke and latency sanity -------------------------------------------
+
+func TestPeekPokeRoundTrip(t *testing.T) {
+	h := newTestH(2)
+	h.PokeWord(addrA, 77)
+	if got := h.PeekWord(addrA); got != 77 {
+		t.Fatalf("Peek = %d, want 77", got)
+	}
+	mustStore(t, h, 0, addrA, 78, 1)
+	if got := h.PeekWord(addrA); got != 77 {
+		t.Fatalf("Peek of committed state = %d, want 77 (uncommitted store invisible)", got)
+	}
+	h.Commit(1)
+	if got := h.PeekWord(addrA); got != 78 {
+		t.Fatalf("Peek after commit = %d, want 78", got)
+	}
+}
+
+func TestLatencies(t *testing.T) {
+	h := newTestH(2)
+	cfg := h.Config()
+	h.PokeWord(addrA, 1)
+	_, res := h.Load(0, addrA, vid.NonSpec)
+	wantMiss := cfg.L1Lat + cfg.BusLat + cfg.L2Lat + cfg.MemLat
+	if res.Lat != wantMiss {
+		t.Fatalf("cold miss latency = %d, want %d", res.Lat, wantMiss)
+	}
+	_, res = h.Load(0, addrA, vid.NonSpec)
+	if res.Lat != cfg.L1Lat {
+		t.Fatalf("L1 hit latency = %d, want %d", res.Lat, cfg.L1Lat)
+	}
+	_, res = h.Load(1, addrA, vid.NonSpec)
+	if res.Lat != cfg.L1Lat+cfg.BusLat {
+		t.Fatalf("peer transfer latency = %d, want %d", res.Lat, cfg.L1Lat+cfg.BusLat)
+	}
+}
+
+func TestWordHelpers(t *testing.T) {
+	var l Line
+	l.Tag = 0x40
+	l.SetWord(0x48, 0x1122334455667788)
+	if got := l.Word(0x48); got != 0x1122334455667788 {
+		t.Fatalf("word roundtrip = %#x", got)
+	}
+	if got := l.Word(0x40); got != 0 {
+		t.Fatalf("adjacent word = %#x, want 0", got)
+	}
+}

@@ -1,0 +1,142 @@
+// Package power is an analytic area, power and energy model in the spirit
+// of McPAT/CACTI at the 22nm node (§6.4): cache area scales with SRAM
+// capacity, leakage with area, and dynamic power with activity counts
+// gathered from simulation. The constants are calibrated so the commodity
+// 4-core configuration of Table 2 reproduces Table 3's baseline (107.1 mm²,
+// 5.515 W leakage), and the HMTX extensions — 12 VID bits plus commit/abort
+// bits per line and the cascading low/high comparators of §4.5 — add the
+// paper's ~4.0 mm².
+package power
+
+import "hmtx/internal/memsys"
+
+// Model holds the technology parameters.
+type Model struct {
+	// CoreArea is mm² per out-of-order core (Alpha 21264-class at 22nm).
+	CoreArea float64
+	// CacheAreaPerMB is mm² per MB of SRAM, data+tag arrays.
+	CacheAreaPerMB float64
+	// BaselineBitsPerLine is the storage of one 64B line including tag,
+	// state and replacement metadata.
+	BaselineBitsPerLine float64
+	// HMTXBitsPerLine is the extra per-line storage of the HMTX
+	// extensions: two 6-bit VIDs plus the committed/aborted bits (§5.3).
+	HMTXBitsPerLine float64
+	// HMTXLogicPerCore is the comparator, SLA-queue and VID-register
+	// area added per core (§4.5, §5.1).
+	HMTXLogicPerCore float64
+
+	// LeakagePerMM2 is baseline leakage; LeakagePerHMTXMM2 applies to
+	// the (mostly SRAM) HMTX additions, which leak less per area thanks
+	// to power gating (§6.4).
+	LeakagePerMM2     float64
+	LeakagePerHMTXMM2 float64
+
+	// Dynamic energy per event, in nanojoules.
+	EnergyPerInst float64
+	EnergyPerL1   float64
+	EnergyPerL2   float64
+	EnergyPerMem  float64
+	EnergyPerBus  float64
+	// VIDCompareOverhead is the fractional cache-access energy increase
+	// from the VID comparators when running on HMTX hardware (§4.5).
+	VIDCompareOverhead float64
+
+	// ClockGHz converts cycles to seconds.
+	ClockGHz float64
+}
+
+// Default22nm returns the calibrated 22nm model.
+func Default22nm() Model {
+	return Model{
+		CoreArea:            10.65,
+		CacheAreaPerMB:      2.0,
+		BaselineBitsPerLine: 512 + 36, // data + tag/state/LRU
+		HMTXBitsPerLine:     14,       // modVID + highVID + CB + AB
+		HMTXLogicPerCore:    0.59,
+		LeakagePerMM2:       0.0515,
+		LeakagePerHMTXMM2:   0.023,
+		EnergyPerInst:       3.1,
+		EnergyPerL1:         0.45,
+		EnergyPerL2:         4.5,
+		EnergyPerMem:        28,
+		EnergyPerBus:        3.0,
+		VIDCompareOverhead:  0.06,
+		ClockGHz:            2.0,
+	}
+}
+
+// Area is the area breakdown in mm².
+type Area struct {
+	Cores     float64
+	Caches    float64
+	HMTXExtra float64
+}
+
+// Total returns the chip area.
+func (a Area) Total() float64 { return a.Cores + a.Caches + a.HMTXExtra }
+
+// Area computes the chip area for the given memory configuration, with or
+// without the HMTX extensions.
+func (m Model) Area(cfg memsys.Config, hmtx bool) Area {
+	cacheMB := float64(cfg.Cores*cfg.L1Size+cfg.L2Size) / (1 << 20)
+	a := Area{
+		Cores:  float64(cfg.Cores) * m.CoreArea,
+		Caches: cacheMB * m.CacheAreaPerMB,
+	}
+	if hmtx {
+		a.HMTXExtra = a.Caches*(m.HMTXBitsPerLine/m.BaselineBitsPerLine) +
+			float64(cfg.Cores)*m.HMTXLogicPerCore
+	}
+	return a
+}
+
+// Leakage returns total leakage power in watts for the given area.
+func (m Model) Leakage(a Area) float64 {
+	return (a.Cores+a.Caches)*m.LeakagePerMM2 + a.HMTXExtra*m.LeakagePerHMTXMM2
+}
+
+// Activity is the event profile of one simulated run.
+type Activity struct {
+	Cycles       int64
+	Instructions uint64
+	L1Accesses   uint64
+	L2Accesses   uint64
+	MemAccesses  uint64
+	BusMessages  uint64
+}
+
+// Seconds returns the wall-clock duration of the run.
+func (m Model) Seconds(a Activity) float64 {
+	return float64(a.Cycles) / (m.ClockGHz * 1e9)
+}
+
+// DynamicEnergy returns the dynamic energy of the run in joules. hmtxHW
+// selects whether the run executed on hardware with the HMTX extensions
+// (whose VID comparators tax every cache access, even non-speculative ones,
+// §6.4).
+func (m Model) DynamicEnergy(a Activity, hmtxHW bool) float64 {
+	cacheScale := 1.0
+	if hmtxHW {
+		cacheScale = 1 + m.VIDCompareOverhead
+	}
+	nj := m.EnergyPerInst*float64(a.Instructions) +
+		cacheScale*(m.EnergyPerL1*float64(a.L1Accesses)+m.EnergyPerL2*float64(a.L2Accesses)) +
+		m.EnergyPerMem*float64(a.MemAccesses) +
+		m.EnergyPerBus*float64(a.BusMessages)
+	return nj * 1e-9
+}
+
+// DynamicPower returns the average dynamic power of the run in watts.
+func (m Model) DynamicPower(a Activity, hmtxHW bool) float64 {
+	s := m.Seconds(a)
+	if s == 0 {
+		return 0
+	}
+	return m.DynamicEnergy(a, hmtxHW) / s
+}
+
+// TotalEnergy returns dynamic plus leakage energy for the run in joules.
+func (m Model) TotalEnergy(a Activity, ar Area, hmtxHW bool) float64 {
+	return m.DynamicEnergy(a, hmtxHW) + m.Leakage(ar)*m.Seconds(a)
+}

@@ -1,0 +1,85 @@
+package power
+
+import (
+	"testing"
+
+	"hmtx/internal/memsys"
+)
+
+func TestAreaMatchesTable3Baseline(t *testing.T) {
+	m := Default22nm()
+	cfg := memsys.DefaultConfig()
+	base := m.Area(cfg, false)
+	if got := base.Total(); got < 105 || got > 109 {
+		t.Fatalf("commodity area = %.1f mm2, want ~107.1 (Table 3)", got)
+	}
+	ext := m.Area(cfg, true)
+	delta := ext.Total() - base.Total()
+	if delta < 3.0 || delta > 5.0 {
+		t.Fatalf("HMTX area delta = %.2f mm2, want ~4.0 (Table 3)", delta)
+	}
+}
+
+func TestLeakageMatchesTable3(t *testing.T) {
+	m := Default22nm()
+	cfg := memsys.DefaultConfig()
+	base := m.Leakage(m.Area(cfg, false))
+	if base < 5.3 || base > 5.7 {
+		t.Fatalf("commodity leakage = %.3f W, want ~5.515 (Table 3)", base)
+	}
+	ext := m.Leakage(m.Area(cfg, true))
+	if ext <= base || ext > base*1.05 {
+		t.Fatalf("HMTX leakage = %.3f W, want marginally above %.3f", ext, base)
+	}
+}
+
+func TestDynamicPowerScalesWithActivity(t *testing.T) {
+	m := Default22nm()
+	oneCore := Activity{Cycles: 1e6, Instructions: 8e5, L1Accesses: 3e5, L2Accesses: 1e4, MemAccesses: 3e3, BusMessages: 1e4}
+	fourCores := oneCore
+	fourCores.Instructions *= 4
+	fourCores.L1Accesses *= 4
+	fourCores.L2Accesses *= 4
+	fourCores.MemAccesses *= 4
+	fourCores.BusMessages *= 4
+	p1 := m.DynamicPower(oneCore, false)
+	p4 := m.DynamicPower(fourCores, false)
+	if p4 < 3.5*p1 || p4 > 4.5*p1 {
+		t.Fatalf("4x activity should ~4x dynamic power: %.2f vs %.2f", p4, p1)
+	}
+}
+
+func TestHMTXHardwareTax(t *testing.T) {
+	m := Default22nm()
+	a := Activity{Cycles: 1e6, Instructions: 8e5, L1Accesses: 6e5, L2Accesses: 1e4, MemAccesses: 3e3, BusMessages: 1e4}
+	plain := m.DynamicPower(a, false)
+	taxed := m.DynamicPower(a, true)
+	if taxed <= plain {
+		t.Fatal("VID comparators must cost some dynamic power (§6.4)")
+	}
+	if taxed > plain*1.05 {
+		t.Fatalf("HMTX hardware tax %.2f -> %.2f exceeds the paper's marginal increase", plain, taxed)
+	}
+}
+
+func TestEnergyIncludesLeakage(t *testing.T) {
+	m := Default22nm()
+	cfg := memsys.DefaultConfig()
+	area := m.Area(cfg, false)
+	a := Activity{Cycles: 2e9, Instructions: 1e9} // one second at 2GHz
+	e := m.TotalEnergy(a, area, false)
+	if e <= m.DynamicEnergy(a, false) {
+		t.Fatal("total energy must include leakage")
+	}
+	leakJ := m.Leakage(area) * m.Seconds(a)
+	if diff := e - m.DynamicEnergy(a, false) - leakJ; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("energy decomposition inconsistent by %g J", diff)
+	}
+}
+
+func TestZeroCycleActivity(t *testing.T) {
+	m := Default22nm()
+	if p := m.DynamicPower(Activity{}, false); p != 0 {
+		t.Fatalf("zero-cycle power = %f, want 0", p)
+	}
+}

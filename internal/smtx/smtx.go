@@ -1,0 +1,309 @@
+// Package smtx models the software multithreaded-transaction baseline the
+// paper compares against (Raman et al. [29], §2.3): worker threads execute
+// pipeline stages while a dedicated *commit process* on its own core
+// receives, validates and applies every speculative memory access record.
+//
+// Modelling choice (recorded in DESIGN.md): the workers execute on the same
+// speculative memory substrate as HMTX — versioned cache lines stand in for
+// SMTX's copy-on-write page versioning, keeping the simulation's data values
+// correct — and the *software* overheads that define SMTX's performance are
+// charged explicitly on top:
+//
+//   - every speculative access contributes a validation record that must be
+//     shipped to and processed by the commit process (ValidateCost each);
+//   - values forwarded from earlier to later pipeline stages pay a per-word
+//     software communication cost (ForwardCost);
+//   - each transaction pays fixed bookkeeping (IterOverhead);
+//   - one core is consumed by the commit process, so only Cores-1 workers
+//     remain (§6.2).
+//
+// With a minimal read/write set (expert manual transformation) the records
+// per transaction collapse to MinRecords and SMTX performs as in Figure 2's
+// "minimal" bars; with maximal validation every access generates a record
+// and the commit process becomes the bottleneck, reproducing the
+// "substantial" slowdowns.
+package smtx
+
+import (
+	"fmt"
+
+	"hmtx/internal/engine"
+	"hmtx/internal/hmtx"
+	"hmtx/internal/paradigm"
+	"hmtx/internal/vid"
+)
+
+// Mode selects the read/write-set regime of Figure 2.
+type Mode int
+
+const (
+	// MinSet models expert manual transformation: only a handful of
+	// accesses per transaction are validated (§2.3).
+	MinSet Mode = iota
+	// MaxSet validates every load and store inside the transaction, the
+	// regime automatic parallelization requires (§2.2).
+	MaxSet
+)
+
+func (m Mode) String() string {
+	if m == MinSet {
+		return "min R/W set"
+	}
+	return "max R/W set"
+}
+
+// Config holds the software cost model of the SMTX runtime.
+type Config struct {
+	// ValidateCost is the commit process's cycles per validation record
+	// (software queue transfer, comparison against committed state,
+	// apply) — the dominant overhead the paper measures (§2.3).
+	ValidateCost int64
+	// ForwardCost is the cycles per word forwarded between pipeline
+	// stages through the software queues.
+	ForwardCost int64
+	// MinRecords is the records per transaction in MinSet mode.
+	MinRecords uint64
+	// IterOverhead is fixed per-transaction software bookkeeping
+	// (version management, queue setup).
+	IterOverhead int64
+	// MinFactor and MaxFactor are the STM instrumentation slowdowns of
+	// the worker stages themselves: every speculative access runs
+	// through software read/write barriers, dilating stage execution by
+	// a constant factor — modest with expert-minimized sets, heavier
+	// with full logging.
+	MinFactor, MaxFactor float64
+}
+
+// DefaultConfig returns costs representative of a software MTX runtime on
+// commodity hardware: low-hundreds of cycles per validated record end to
+// end, and 1.3x/1.85x stage dilation from read/write barriers.
+func DefaultConfig() Config {
+	return Config{
+		ValidateCost: 150,
+		ForwardCost:  12,
+		MinRecords:   4,
+		IterOverhead: 150,
+		MinFactor:    1.30,
+		MaxFactor:    1.85,
+	}
+}
+
+// factor returns the worker-stage dilation for the mode.
+func (d *smtxDriver) factor() float64 {
+	if d.mode == MinSet {
+		return d.cfg.MinFactor
+	}
+	return d.cfg.MaxFactor
+}
+
+// dilate charges the STM instrumentation overhead for a stage that took
+// elapsed cycles of native work.
+func (d *smtxDriver) dilate(e *engine.Env, elapsed int64) {
+	extra := int64(float64(elapsed) * (d.factor() - 1))
+	e.Compute(extra)
+}
+
+const (
+	qVIDs = 1  // stage-1 -> stage-2 transaction VIDs
+	qRec  = 60 // workers -> commit process validation-record batches
+)
+
+const countBits = 20
+
+func encRec(seq vid.Seq, count uint64) uint64 {
+	if count >= 1<<countBits {
+		count = 1<<countBits - 1
+	}
+	return uint64(seq)<<countBits | count
+}
+
+func decRec(v uint64) (vid.Seq, uint64) {
+	return vid.Seq(v >> countBits), v & (1<<countBits - 1)
+}
+
+// Run executes the loop under the SMTX model and returns the outcome.
+// Early-exiting or misspeculating loops are not supported by this baseline
+// (the evaluated benchmarks have neither, §6.3).
+func Run(sys *engine.System, loop paradigm.Loop, kind paradigm.Kind, cores int, mode Mode, cfg Config) hmtx.Outcome {
+	if cores < 3 {
+		panic("smtx: need at least 3 cores (workers + commit process)")
+	}
+	d := &smtxDriver{sys: sys, loop: loop, kind: kind, cores: cores, mode: mode, cfg: cfg}
+	var progs []engine.Program
+	switch kind {
+	case paradigm.DSWP, paradigm.PSDSWP:
+		progs = append(progs, d.stage1Prog())
+		n := 1
+		if kind == paradigm.PSDSWP {
+			n = cores - 2
+		}
+		for w := 0; w < n; w++ {
+			progs = append(progs, d.stage2Prog())
+		}
+	case paradigm.DOALL:
+		for w := 0; w < cores-1; w++ {
+			progs = append(progs, d.doallProg(w, cores-1))
+		}
+	default:
+		panic(fmt.Sprintf("smtx: unsupported paradigm %v", kind))
+	}
+	progs = append(progs, d.commitProg(kind))
+	res := sys.Run(progs)
+	if res.Aborted {
+		panic(fmt.Sprintf("smtx: unexpected misspeculation: %s", res.Cause))
+	}
+	return hmtx.Outcome{
+		Cycles:     res.Cycles,
+		Iterations: int(res.LastCommitted),
+		Runs:       1,
+	}
+}
+
+type smtxDriver struct {
+	sys   *engine.System
+	loop  paradigm.Loop
+	kind  paradigm.Kind
+	cores int
+	mode  Mode
+	cfg   Config
+}
+
+// records converts an access count into the validation records actually
+// shipped to the commit process under the current mode.
+func (d *smtxDriver) records(accesses uint64) uint64 {
+	if d.mode == MinSet {
+		return d.cfg.MinRecords
+	}
+	return accesses
+}
+
+func (d *smtxDriver) stage1Prog() engine.Program {
+	return func(e *engine.Env) {
+		lastSeq := vid.Seq(0)
+		for it := 0; it < d.loop.Iters(); it++ {
+			seq := vid.Seq(it + 1)
+			t0 := e.Now()
+			e.Begin(seq)
+			cont := d.loop.Stage1(e, it)
+			n := e.SpecAccessCount()
+			e.Begin(0)
+			d.dilate(e, e.Now()-t0)
+			e.Compute(d.cfg.IterOverhead)
+			e.Produce(qRec, encRec(seq, d.records(n)))
+			e.Produce(qVIDs, uint64(seq))
+			lastSeq = seq
+			if !cont {
+				break
+			}
+		}
+		e.CloseQueue(qVIDs)
+		// Sentinel: tell the commit process the final transaction.
+		e.Produce(qRec, encRec(0, uint64(lastSeq)))
+	}
+}
+
+func (d *smtxDriver) stage2Prog() engine.Program {
+	return func(e *engine.Env) {
+		for {
+			v, ok := e.Consume(qVIDs)
+			if !ok {
+				return
+			}
+			seq := vid.Seq(v)
+			it := int(seq) - 1
+			e.Begin(seq)
+			before := e.SpecAccessCount() // stage 1's accesses of this tx
+			// Uncommitted value forwarding in SMTX is explicit
+			// software communication of stage 1's speculative state.
+			fwd := before
+			if d.mode == MinSet {
+				fwd = d.cfg.MinRecords
+			}
+			e.Compute(d.cfg.ForwardCost * int64(fwd))
+			t0 := e.Now()
+			exit := d.loop.Stage2(e, it)
+			d.dilate(e, e.Now()-t0)
+			after := e.SpecAccessCount()
+			e.Begin(0)
+			e.Compute(d.cfg.IterOverhead)
+			e.Produce(qRec, encRec(seq, d.records(after-before)))
+			if exit {
+				panic("smtx: early-exit loops are not supported by the SMTX baseline")
+			}
+		}
+	}
+}
+
+func (d *smtxDriver) doallProg(w, workers int) engine.Program {
+	return func(e *engine.Env) {
+		lastSeq := vid.Seq(0)
+		for it := w; it < d.loop.Iters(); it += workers {
+			seq := vid.Seq(it + 1)
+			t0 := e.Now()
+			e.Begin(seq)
+			d.loop.Stage1(e, it)
+			d.loop.Stage2(e, it)
+			n := e.SpecAccessCount()
+			e.Begin(0)
+			d.dilate(e, e.Now()-t0)
+			e.Compute(d.cfg.IterOverhead)
+			e.Produce(qRec, encRec(seq, d.records(n)))
+			lastSeq = seq
+		}
+		if w == (d.loop.Iters()-1)%workers {
+			// The worker of the final iteration sends the sentinel.
+			e.Produce(qRec, encRec(0, uint64(lastSeq)))
+		}
+	}
+}
+
+// commitProg is the commit process: it owns the non-speculative committed
+// state, validates every record against it, and commits transactions in
+// original program order (§2.3).
+func (d *smtxDriver) commitProg(kind paradigm.Kind) engine.Program {
+	msgsNeeded := 2
+	if kind == paradigm.DOALL {
+		msgsNeeded = 1
+	}
+	return func(e *engine.Env) {
+		type pend struct {
+			msgs    int
+			records uint64
+		}
+		pending := make(map[vid.Seq]*pend)
+		expected := vid.Seq(1)
+		last := vid.Seq(0)
+		for {
+			if last != 0 && expected > last {
+				return
+			}
+			v, ok := e.Consume(qRec)
+			if !ok {
+				return
+			}
+			seq, count := decRec(v)
+			if seq == 0 {
+				last = vid.Seq(count)
+				continue
+			}
+			p := pending[seq]
+			if p == nil {
+				p = &pend{}
+				pending[seq] = p
+			}
+			p.msgs++
+			p.records += count
+			for {
+				p, ok := pending[expected]
+				if !ok || p.msgs < msgsNeeded {
+					break
+				}
+				// Validate and apply every record serially.
+				e.Compute(d.cfg.ValidateCost * int64(p.records))
+				e.Commit(expected)
+				delete(pending, expected)
+				expected++
+			}
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package smtx
+
+import (
+	"testing"
+
+	"hmtx/internal/engine"
+	"hmtx/internal/hmtx"
+	"hmtx/internal/memsys"
+	"hmtx/internal/paradigm"
+)
+
+// chainLoop walks a pointer chain (stage 1) and accumulates node values with
+// some work per node (stage 2); the accumulator and cursor live in simulated
+// memory.
+type chainLoop struct {
+	n    int
+	work int64
+}
+
+const (
+	base     = memsys.Addr(0x40000)
+	cursor   = memsys.Addr(0x500)
+	produced = memsys.Addr(0x580)
+	sum      = memsys.Addr(0x600)
+)
+
+func (l *chainLoop) Name() string { return "chain" }
+func (l *chainLoop) Iters() int   { return l.n }
+func (l *chainLoop) Setup(h *memsys.Hierarchy) {
+	for i := 0; i < l.n; i++ {
+		node := base + memsys.Addr(i)*memsys.LineSize
+		h.PokeWord(node, uint64(2*i+1))
+		next := node + memsys.LineSize
+		if i == l.n-1 {
+			next = 0
+		}
+		h.PokeWord(node+8, next)
+	}
+	h.PokeWord(cursor, uint64(base))
+}
+func (l *chainLoop) Stage1(e *engine.Env, it int) bool {
+	node := e.Load(cursor)
+	e.Store(produced, node)
+	next := e.Load(memsys.Addr(node) + 8)
+	e.Store(cursor, next)
+	return next != 0
+}
+func (l *chainLoop) Stage2(e *engine.Env, it int) bool {
+	node := e.Load(produced)
+	val := e.Load(memsys.Addr(node))
+	// Touch a per-iteration scratch region: this is the "read/write set"
+	// that SMTX must validate.
+	scratch := memsys.Addr(0x80000) + memsys.Addr(it)*memsys.LineSize*8
+	for j := memsys.Addr(0); j < 8; j++ {
+		e.Store(scratch+j*memsys.LineSize, val+uint64(j))
+	}
+	e.Compute(l.work)
+	s := e.Load(sum)
+	e.Store(sum, s+val)
+	return false
+}
+
+func run(t *testing.T, loop *chainLoop, kind paradigm.Kind, mode Mode) (int64, uint64) {
+	t.Helper()
+	cfg := engine.DefaultConfig()
+	sys := engine.New(cfg)
+	loop.Setup(sys.Mem)
+	out := Run(sys, loop, kind, 4, mode, DefaultConfig())
+	return out.Cycles, sys.Mem.PeekWord(sum)
+}
+
+func wantSum(n int) uint64 {
+	s := uint64(0)
+	for i := 0; i < n; i++ {
+		s += uint64(2*i + 1)
+	}
+	return s
+}
+
+func TestSMTXCorrectness(t *testing.T) {
+	loop := &chainLoop{n: 40, work: 500}
+	for _, mode := range []Mode{MinSet, MaxSet} {
+		for _, kind := range []paradigm.Kind{paradigm.DSWP, paradigm.PSDSWP} {
+			_, got := run(t, loop, kind, mode)
+			if got != wantSum(40) {
+				t.Errorf("%v/%v sum = %d, want %d", kind, mode, got, wantSum(40))
+			}
+		}
+	}
+}
+
+func TestSMTXValidationOverheadHurts(t *testing.T) {
+	loop := &chainLoop{n: 60, work: 300}
+	minCycles, _ := run(t, loop, paradigm.PSDSWP, MinSet)
+	maxCycles, _ := run(t, loop, paradigm.PSDSWP, MaxSet)
+	if maxCycles <= minCycles {
+		t.Fatalf("max R/W set (%d cycles) should be slower than min (%d)", maxCycles, minCycles)
+	}
+}
+
+// TestSMTXVsHMTXShape reproduces the paper's core claim on a microbenchmark:
+// with maximal validation, HMTX beats SMTX by a wide margin because SMTX's
+// commit process serialises validation (Figure 8).
+func TestSMTXVsHMTXShape(t *testing.T) {
+	loop := &chainLoop{n: 60, work: 300}
+	cfg := engine.DefaultConfig()
+
+	seqSys := engine.New(cfg)
+	loop.Setup(seqSys.Mem)
+	seq := paradigm.RunSequential(seqSys, loop)
+
+	hmtxSys := engine.New(cfg)
+	loop.Setup(hmtxSys.Mem)
+	hOut := hmtx.Run(hmtxSys, loop, paradigm.PSDSWP, 4)
+
+	smtxSys := engine.New(cfg)
+	loop.Setup(smtxSys.Mem)
+	sOut := Run(smtxSys, loop, paradigm.PSDSWP, 4, MaxSet, DefaultConfig())
+
+	hSpeed := float64(seq) / float64(hOut.Cycles)
+	sSpeed := float64(seq) / float64(sOut.Cycles)
+	t.Logf("sequential=%d HMTX=%d (%.2fx) SMTX-max=%d (%.2fx)", seq, hOut.Cycles, hSpeed, sOut.Cycles, sSpeed)
+	if hSpeed <= sSpeed {
+		t.Fatalf("HMTX (%.2fx) should outperform SMTX with max validation (%.2fx)", hSpeed, sSpeed)
+	}
+}
+
+func TestSMTXDOALL(t *testing.T) {
+	cfg := engine.DefaultConfig()
+	sys := engine.New(cfg)
+	loop := &chainLoop{n: 30, work: 200}
+	loop.Setup(sys.Mem)
+	// DOALL over the chain loop is incorrect in general (loop-carried
+	// cursor), so use a dedicated independent-iteration loop.
+	ind := &indLoop{n: 30}
+	ind.Setup(sys.Mem)
+	out := Run(sys, ind, paradigm.DOALL, 4, MaxSet, DefaultConfig())
+	if out.Iterations != 30 {
+		t.Fatalf("iterations = %d, want 30", out.Iterations)
+	}
+	for i := 0; i < 30; i++ {
+		if got := sys.Mem.PeekWord(0xC0000 + memsys.Addr(i)*memsys.LineSize); got != uint64(i*i) {
+			t.Fatalf("out[%d] = %d, want %d", i, got, i*i)
+		}
+	}
+}
+
+type indLoop struct{ n int }
+
+func (l *indLoop) Name() string { return "ind" }
+func (l *indLoop) Iters() int   { return l.n }
+func (l *indLoop) Setup(h *memsys.Hierarchy) {
+	for i := 0; i < l.n; i++ {
+		h.PokeWord(0xB0000+memsys.Addr(i)*memsys.LineSize, uint64(i))
+	}
+}
+func (l *indLoop) Stage1(e *engine.Env, it int) bool { return it+1 < l.n }
+func (l *indLoop) Stage2(e *engine.Env, it int) bool {
+	v := e.Load(0xB0000 + memsys.Addr(it)*memsys.LineSize)
+	e.Compute(100)
+	e.Store(0xC0000+memsys.Addr(it)*memsys.LineSize, v*v)
+	return false
+}

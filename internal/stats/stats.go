@@ -1,0 +1,97 @@
+// Package stats provides the small numeric and formatting helpers shared by
+// the experiment harness: geometric means, percentage formatting, and
+// aligned text tables in the style of the paper's tables.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Geomean returns the geometric mean of xs (1 if empty).
+func Geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// Pct formats a ratio as a percentage with the given precision.
+func Pct(x float64, prec int) string {
+	return fmt.Sprintf("%.*f%%", prec, 100*x)
+}
+
+// KB formats a byte count in kilobytes.
+func KB(bytes uint64) string {
+	return fmt.Sprintf("%.1f kB", float64(bytes)/1024)
+}
+
+// Table renders rows as an aligned text table. The first row is the header,
+// separated by a rule.
+type Table struct {
+	rows [][]string
+}
+
+// Add appends a row.
+func (t *Table) Add(cells ...string) { t.rows = append(t.rows, cells) }
+
+// AddF appends a row, applying fmt.Sprint to each cell value.
+func (t *Table) AddF(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	if len(t.rows) == 0 {
+		return ""
+	}
+	widths := make([]int, 0)
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(r []string) {
+		for i, c := range r {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.rows[0])
+	total := len(widths) - 1
+	for _, w := range widths {
+		total += w + 1
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteString("\n")
+	for _, r := range t.rows[1:] {
+		writeRow(r)
+	}
+	return b.String()
+}

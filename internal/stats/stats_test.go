@@ -1,0 +1,76 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeomean(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 1},
+		{[]float64{2}, 2},
+		{[]float64{1, 4}, 2},
+		{[]float64{2, 2, 2}, 2},
+		{[]float64{1, 0, 3}, 0},
+	}
+	for _, c := range cases {
+		if got := Geomean(c.in); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Geomean(%v) = %f, want %f", c.in, got, c.want)
+		}
+	}
+}
+
+func TestGeomeanBetweenMinAndMax(t *testing.T) {
+	f := func(a, b, c uint16) bool {
+		xs := []float64{float64(a) + 1, float64(b) + 1, float64(c) + 1}
+		g := Geomean(xs)
+		mn, mx := xs[0], xs[0]
+		for _, x := range xs {
+			mn, mx = math.Min(mn, x), math.Max(mx, x)
+		}
+		return g >= mn-1e-9 && g <= mx+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{Rand: rand.New(rand.NewSource(7))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPctAndKB(t *testing.T) {
+	if got := Pct(0.1234, 1); got != "12.3%" {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := KB(2048); got != "2.0 kB" {
+		t.Errorf("KB = %q", got)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	var tb Table
+	tb.Add("Name", "Value")
+	tb.AddF("x", 1.5)
+	tb.AddF("longer-name", 10)
+	out := tb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want 4:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[1], "---") {
+		t.Fatalf("missing header rule:\n%s", out)
+	}
+	if !strings.Contains(lines[2], "1.50") {
+		t.Fatalf("float not formatted:\n%s", out)
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	var tb Table
+	if tb.String() != "" {
+		t.Fatal("empty table should render empty")
+	}
+}

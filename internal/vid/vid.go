@@ -1,0 +1,84 @@
+// Package vid defines version identifiers (VIDs) for hardware multithreaded
+// transactions (HMTX).
+//
+// Every transaction is assigned a VID corresponding to the original
+// sequential program order of the transactions (paper §3). Hardware VIDs are
+// m-bit quantities (m = 6 in the evaluated configuration, §4.5), so the
+// system periodically exhausts them and performs a VID Reset (§4.6). This
+// package provides the mapping between the unbounded program-order
+// transaction sequence numbers used by software and the finite (epoch, VID)
+// pairs used by the memory system.
+package vid
+
+import "fmt"
+
+// V is a hardware version ID as stored on cache lines and attached to memory
+// requests. V(0) is reserved for non-speculative execution.
+type V uint8
+
+// NonSpec is the VID of non-speculative execution.
+const NonSpec V = 0
+
+// Seq is a global program-order transaction sequence number assigned by
+// software. Seq(0) denotes non-speculative execution; transaction sequence
+// numbers start at 1 and increase in original program order.
+type Seq uint64
+
+// NonSpecSeq is the sequence number of non-speculative execution.
+const NonSpecSeq Seq = 0
+
+// Space describes a finite hardware VID space of Bits-bit VIDs.
+//
+// Within one epoch the usable VIDs are 1..Max(); once all are outstanding
+// the software must wait for every transaction of the epoch to commit and
+// trigger a VID Reset, which begins the next epoch (§4.6).
+type Space struct {
+	// Bits is the width m of hardware VIDs. The paper settles on 6 as "a
+	// fair medium" between reset frequency and per-line storage (§4.6).
+	Bits uint
+}
+
+// DefaultSpace is the 6-bit VID space evaluated in the paper.
+var DefaultSpace = Space{Bits: 6}
+
+// Max returns the largest usable VID, 2^Bits - 1.
+func (s Space) Max() V {
+	if s.Bits == 0 || s.Bits > 8 {
+		panic(fmt.Sprintf("vid: unsupported VID width %d", s.Bits))
+	}
+	return V(1<<s.Bits - 1)
+}
+
+// PerEpoch returns the number of transactions that fit in one epoch.
+func (s Space) PerEpoch() uint64 { return uint64(s.Max()) }
+
+// Split maps a program-order sequence number to its (epoch, hardware VID)
+// pair. Non-speculative Seq 0 maps to epoch 0, VID 0.
+func (s Space) Split(q Seq) (epoch uint64, v V) {
+	if q == NonSpecSeq {
+		return 0, NonSpec
+	}
+	per := s.PerEpoch()
+	return (uint64(q) - 1) / per, V((uint64(q)-1)%per) + 1
+}
+
+// Join is the inverse of Split for speculative sequence numbers.
+func (s Space) Join(epoch uint64, v V) Seq {
+	if v == NonSpec {
+		return NonSpecSeq
+	}
+	return Seq(epoch*s.PerEpoch() + uint64(v))
+}
+
+// Epoch returns only the epoch of q.
+func (s Space) Epoch(q Seq) uint64 { e, _ := s.Split(q); return e }
+
+// HW returns only the hardware VID of q.
+func (s Space) HW(q Seq) V { _, v := s.Split(q); return v }
+
+// LastOfEpoch reports whether q uses the final VID of its epoch, i.e.
+// whether allocating past q requires a VID Reset.
+func (s Space) LastOfEpoch(q Seq) bool {
+	_, v := s.Split(q)
+	return v == s.Max()
+}

@@ -1,0 +1,87 @@
+package vid
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitJoinRoundTrip(t *testing.T) {
+	s := DefaultSpace
+	f := func(q uint64) bool {
+		q %= 1 << 40
+		seq := Seq(q)
+		e, v := s.Split(seq)
+		if seq == NonSpecSeq {
+			return e == 0 && v == NonSpec
+		}
+		return v >= 1 && v <= s.Max() && s.Join(e, v) == seq
+	}
+	if err := quick.Check(f, &quick.Config{Rand: rand.New(rand.NewSource(7))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitSequence(t *testing.T) {
+	s := Space{Bits: 6}
+	cases := []struct {
+		seq   Seq
+		epoch uint64
+		v     V
+	}{
+		{0, 0, 0},
+		{1, 0, 1},
+		{63, 0, 63},
+		{64, 1, 1},
+		{126, 1, 63},
+		{127, 2, 1},
+	}
+	for _, c := range cases {
+		e, v := s.Split(c.seq)
+		if e != c.epoch || v != c.v {
+			t.Errorf("Split(%d) = (%d,%d), want (%d,%d)", c.seq, e, v, c.epoch, c.v)
+		}
+	}
+}
+
+func TestOrderPreservedWithinEpoch(t *testing.T) {
+	s := DefaultSpace
+	per := s.PerEpoch()
+	for epoch := uint64(0); epoch < 3; epoch++ {
+		var prev V
+		for i := uint64(1); i <= per; i++ {
+			_, v := s.Split(Seq(epoch*per + i))
+			if v <= prev {
+				t.Fatalf("VIDs not strictly increasing within epoch %d: %d after %d", epoch, v, prev)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestLastOfEpoch(t *testing.T) {
+	s := DefaultSpace
+	if !s.LastOfEpoch(63) || !s.LastOfEpoch(126) {
+		t.Fatal("seq 63 and 126 end their epochs")
+	}
+	if s.LastOfEpoch(1) || s.LastOfEpoch(64) || s.LastOfEpoch(0) {
+		t.Fatal("seq 0, 1 and 64 do not end their epochs")
+	}
+}
+
+func TestMaxByWidth(t *testing.T) {
+	for bits, want := range map[uint]V{1: 1, 2: 3, 4: 15, 6: 63, 8: 255} {
+		if got := (Space{Bits: bits}).Max(); got != want {
+			t.Errorf("Max(%d bits) = %d, want %d", bits, got, want)
+		}
+	}
+}
+
+func TestInvalidWidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Max with 0 bits should panic")
+		}
+	}()
+	_ = Space{Bits: 0}.Max()
+}

@@ -1,0 +1,105 @@
+package workloads
+
+import (
+	"hmtx/internal/engine"
+	"hmtx/internal/memsys"
+	"hmtx/internal/paradigm"
+)
+
+// alvinn models 052.alvinn: neural-network training over input patterns.
+// Each iteration trains on one pattern: it reads the pattern's input
+// activations and the shared weight matrix, and writes a per-pattern weight
+// delta and output vector. Iterations are independent, so the loop runs
+// DOALL (Table 1) — but under speculation, every load and store is still
+// validated by the HMTX system.
+//
+// Calibration targets (Table 1, scaled ~1/1000): ~2,290 speculative accesses
+// per transaction, 11.5% branches, 0.245% misprediction rate.
+type alvinn struct {
+	iters int
+}
+
+const (
+	alvWeights = memsys.Addr(0x1000000) // shared, read-only during the loop
+	alvInputs  = memsys.Addr(0x1400000) // per-pattern inputs
+	alvDeltas  = memsys.Addr(0x1800000) // per-pattern weight deltas (written)
+	alvOuts    = memsys.Addr(0x1C00000) // per-pattern outputs (written)
+
+	alvWeightWords = 832 // 104 lines of shared weights, re-read on every pass
+	alvPasses      = 4   // forward/backward over two layers
+	alvInWords     = 64
+	alvDeltaWords  = 416
+	alvOutWords    = 32
+)
+
+func newAlvinn(scale int) paradigm.Loop { return &alvinn{iters: 24 * scale} }
+
+func (a *alvinn) Name() string { return "052.alvinn" }
+func (a *alvinn) Iters() int   { return a.iters }
+
+func (a *alvinn) Setup(h *memsys.Hierarchy) {
+	for w := 0; w < alvWeightWords; w++ {
+		h.PokeWord(alvWeights+memsys.Addr(w)*8, mix64(uint64(w))%997)
+	}
+	for it := 0; it < a.iters; it++ {
+		base := alvInputs + memsys.Addr(it)*alvInWords*8
+		for w := 0; w < alvInWords; w++ {
+			h.PokeWord(base+memsys.Addr(w)*8, mix64(uint64(it)<<16|uint64(w))%255)
+		}
+	}
+}
+
+func (a *alvinn) Stage1(e *engine.Env, it int) bool { return it+1 < a.iters }
+
+func (a *alvinn) Stage2(e *engine.Env, it int) bool {
+	inBase := alvInputs + memsys.Addr(it)*alvInWords*8
+	deltaBase := alvDeltas + memsys.Addr(it)*alvDeltaWords*8
+	outBase := alvOuts + memsys.Addr(it)*alvOutWords*8
+
+	var acc uint64
+	// Forward and backward passes over both layers: the shared weights
+	// are re-read on every pass, so most accesses hit lines the
+	// transaction already marked (high intra-transaction locality).
+	for pass := 0; pass < alvPasses; pass++ {
+		for w := 0; w < alvWeightWords; w++ {
+			wv := e.Load(alvWeights + memsys.Addr(w)*8)
+			if w%(alvWeightWords/alvInWords) == 0 {
+				acc += e.Load(inBase + memsys.Addr(w/(alvWeightWords/alvInWords))*8)
+			}
+			acc += wv * (acc&7 + 1)
+			if w%8 == 0 {
+				e.Compute(2)
+				// Highly predictable data-dependent branch
+				// (saturation check): taken very rarely.
+				e.Branch(10, chance(uint64(it), uint64(pass)<<16|uint64(w), 2))
+			}
+		}
+	}
+	// Backward pass: write the per-pattern weight delta.
+	for w := 0; w < alvDeltaWords; w++ {
+		e.Store(deltaBase+memsys.Addr(w)*8, acc^mix64(uint64(w)))
+		if w%16 == 0 {
+			e.Branch(11, true) // loop-style branch, always predicted
+		}
+	}
+	for w := 0; w < alvOutWords; w++ {
+		e.Store(outBase+memsys.Addr(w)*8, acc>>uint(w%8))
+	}
+	return false
+}
+
+// Checksum folds the written regions so tests can compare executions.
+func (a *alvinn) Checksum(h *memsys.Hierarchy) uint64 {
+	var sum uint64
+	for it := 0; it < a.iters; it++ {
+		deltaBase := alvDeltas + memsys.Addr(it)*alvDeltaWords*8
+		outBase := alvOuts + memsys.Addr(it)*alvOutWords*8
+		for w := 0; w < alvDeltaWords; w += 7 {
+			sum = mix64(sum ^ h.PeekWord(deltaBase+memsys.Addr(w)*8))
+		}
+		for w := 0; w < alvOutWords; w++ {
+			sum = mix64(sum ^ h.PeekWord(outBase+memsys.Addr(w)*8))
+		}
+	}
+	return sum
+}

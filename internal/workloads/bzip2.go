@@ -1,0 +1,94 @@
+package workloads
+
+import (
+	"hmtx/internal/engine"
+	"hmtx/internal/memsys"
+	"hmtx/internal/paradigm"
+)
+
+// bzip2 models 256.bzip2: blockwise Burrows-Wheeler-style transformation.
+// Each iteration reads a block, builds bucket counts (radix pass), and
+// writes a transformed block — the largest read and write sets of the suite
+// (Figure 9: 16 MB combined at native scale; 131M accesses per transaction).
+type bzip2 struct {
+	iters int
+}
+
+const (
+	bzCur      = memsys.Addr(0x6000)
+	bzProduced = memsys.Addr(0x6040)
+	bzInput    = memsys.Addr(0x6100000)
+	bzCounts   = memsys.Addr(0x6800000) // per-block radix counts
+	bzOutput   = memsys.Addr(0x6C00000) // per-block transformed output
+
+	bzBlockWords = 512
+	bzCountWords = 256
+	bzS1Work     = 66000 // stage-1 cycles: calibrated to Figure 8
+)
+
+func newBzip2(scale int) paradigm.Loop { return &bzip2{iters: 25 * scale} }
+
+func (b *bzip2) Name() string { return "256.bzip2" }
+func (b *bzip2) Iters() int   { return b.iters }
+
+func (b *bzip2) Setup(h *memsys.Hierarchy) {
+	for w := 0; w < b.iters*bzBlockWords; w++ {
+		h.PokeWord(bzInput+memsys.Addr(w)*8, mix64(uint64(w/9))%65536)
+	}
+	h.PokeWord(bzCur, uint64(bzInput))
+}
+
+func (b *bzip2) Stage1(e *engine.Env, it int) bool {
+	cur := e.Load(bzCur)
+	e.Store(bzProduced, cur)
+	e.Store(bzCur, cur+bzBlockWords*8)
+	// Sequential run-length pre-pass over the block.
+	e.Compute(bzS1Work)
+	e.Branch(60, it+1 < b.iters)
+	return it+1 < b.iters
+}
+
+func (b *bzip2) Stage2(e *engine.Env, it int) bool {
+	blockBase := memsys.Addr(e.Load(bzProduced))
+	countBase := bzCounts + memsys.Addr(it)*bzCountWords*8
+	outBase := bzOutput + memsys.Addr(it)*bzBlockWords*8
+
+	// Pass 1: radix bucket counting.
+	for w := 0; w < bzBlockWords; w++ {
+		v := e.Load(blockBase + memsys.Addr(w)*8)
+		bucket := v % bzCountWords
+		cnt := e.Load(countBase + memsys.Addr(bucket)*8)
+		e.Store(countBase+memsys.Addr(bucket)*8, cnt+1)
+		if w%8 == 0 {
+			e.Branch(61, true) // block-scan loop branch
+		}
+		if w%16 == 0 {
+			// Run-length detection branch: data-dependent.
+			e.Branch(62, chance(uint64(it), uint64(w), 45))
+		}
+	}
+	// Pass 2: emit the transformed block using the counts.
+	var rot uint64
+	for w := 0; w < bzBlockWords; w++ {
+		v := e.Load(blockBase + memsys.Addr(w)*8)
+		c := e.Load(countBase + memsys.Addr(v%bzCountWords)*8)
+		rot = mix64(rot + v + c)
+		e.Store(outBase+memsys.Addr((w+int(rot%7))%bzBlockWords)*8, rot)
+		e.Compute(1)
+		if w%8 == 0 {
+			e.Branch(63, true)
+		}
+	}
+	return false
+}
+
+func (b *bzip2) Checksum(h *memsys.Hierarchy) uint64 {
+	var sum uint64
+	for it := 0; it < b.iters; it++ {
+		outBase := bzOutput + memsys.Addr(it)*bzBlockWords*8
+		for w := 0; w < bzBlockWords; w += 7 {
+			sum = mix64(sum ^ h.PeekWord(outBase+memsys.Addr(w)*8))
+		}
+	}
+	return sum
+}

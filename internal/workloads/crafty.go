@@ -1,0 +1,97 @@
+package workloads
+
+import (
+	"hmtx/internal/engine"
+	"hmtx/internal/memsys"
+	"hmtx/internal/paradigm"
+)
+
+// crafty models 186.crafty: game-tree search. Each iteration analyses one
+// position: it probes a large shared (read-only) transposition table, scores
+// candidate moves, and records history scores in a per-position region. The
+// kernel has the suite's highest branch misprediction rate (Table 1: 5.59%
+// with 13.1% branches), making it the stress test for SLAs (§5.1).
+type crafty struct {
+	iters int
+}
+
+const (
+	crCur      = memsys.Addr(0x4000)
+	crProduced = memsys.Addr(0x4040)
+	crTT       = memsys.Addr(0x4100000) // shared transposition table
+	crHistory  = memsys.Addr(0x4800000) // per-position history scores
+
+	crTTWords   = 32768 // 256KB shared table
+	crNodes     = 120   // positions searched per iteration
+	crHistWords = 64
+	crS1Work    = 10800 // stage-1 cycles: calibrated to Figure 8
+)
+
+func newCrafty(scale int) paradigm.Loop { return &crafty{iters: 64 * scale} }
+
+func (c *crafty) Name() string { return "186.crafty" }
+func (c *crafty) Iters() int   { return c.iters }
+
+func (c *crafty) Setup(h *memsys.Hierarchy) {
+	for w := 0; w < crTTWords; w += 2 {
+		h.PokeWord(crTT+memsys.Addr(w)*8, mix64(uint64(w)))
+		h.PokeWord(crTT+memsys.Addr(w+1)*8, mix64(uint64(w))%2048)
+	}
+	h.PokeWord(crCur, 1)
+}
+
+func (c *crafty) Stage1(e *engine.Env, it int) bool {
+	cur := e.Load(crCur)
+	e.Store(crProduced, mix64(cur)) // the position key to search
+	e.Store(crCur, cur+1)
+	// Sequential move generation and board update for the position.
+	e.Compute(crS1Work)
+	e.Branch(40, it+1 < c.iters)
+	return it+1 < c.iters
+}
+
+func (c *crafty) Stage2(e *engine.Env, it int) bool {
+	key := e.Load(crProduced)
+	histBase := crHistory + memsys.Addr(it)*crHistWords*8
+
+	// The search re-probes a small working set of transposition entries
+	// (the subtree's relevant positions), so most probes hit lines the
+	// transaction already marked.
+	window := (mix64(key) % (crTTWords/2 - 64))
+	var best uint64
+	for n := 0; n < crNodes; n++ {
+		probe := window + mix64(key+uint64(n))%64
+		sig := e.Load(crTT + memsys.Addr(probe*2)*8)
+		score := e.Load(crTT + memsys.Addr(probe*2+1)*8)
+		// Transposition hit and alpha-beta cutoff branches: highly
+		// data-dependent, mispredicted often (Table 1: 5.59%).
+		hit := chance(key, uint64(n)*3+1, 35)
+		e.Branch(41, hit)
+		if hit {
+			e.Compute(4)
+			_ = sig
+		}
+		cutoff := chance(key, uint64(n), 60)
+		e.Branch(42, cutoff)
+		if score > best {
+			best = score
+		}
+		if n%4 == 0 {
+			e.Store(histBase+memsys.Addr(n/4%crHistWords)*8, best+uint64(n))
+		}
+		e.Compute(3)
+	}
+	e.Store(histBase, best)
+	return false
+}
+
+func (c *crafty) Checksum(h *memsys.Hierarchy) uint64 {
+	var sum uint64
+	for it := 0; it < c.iters; it++ {
+		histBase := crHistory + memsys.Addr(it)*crHistWords*8
+		for w := 0; w < crHistWords; w += 2 {
+			sum = mix64(sum ^ h.PeekWord(histBase+memsys.Addr(w)*8))
+		}
+	}
+	return sum
+}

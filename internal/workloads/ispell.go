@@ -1,0 +1,122 @@
+package workloads
+
+import (
+	"hmtx/internal/engine"
+	"hmtx/internal/memsys"
+	"hmtx/internal/paradigm"
+)
+
+// ispell models MiBench's ispell: spell checking one word per iteration
+// against a shared hash dictionary with affix-stripping retries. The
+// transactions are tiny (Table 1: ~43K accesses per transaction at native
+// scale — by far the smallest of the suite) and branchy (16.6% branches,
+// 2.82% misprediction), so per-transaction overheads dominate and the
+// benchmark sees the smallest speedup.
+type ispell struct {
+	iters int
+}
+
+const (
+	isCur      = memsys.Addr(0x8000)
+	isProduced = memsys.Addr(0x8040)
+	isDict     = memsys.Addr(0x8100000)
+	isAffix    = memsys.Addr(0x8200000) // shared affix table
+	isOut      = memsys.Addr(0x8300000) // per-word check results
+
+	isBuckets    = 512
+	isChainLen   = 4
+	isAffixWords = 64
+	isOutWords   = 4
+	isS1Work     = 3700 // stage-1 cycles: calibrated to Figure 8
+)
+
+func newIspell(scale int) paradigm.Loop { return &ispell{iters: 100 * scale} }
+
+func (s *ispell) Name() string { return "ispell" }
+func (s *ispell) Iters() int   { return s.iters }
+
+func (s *ispell) Setup(h *memsys.Hierarchy) {
+	nodeBase := isDict + memsys.Addr(isBuckets)*8
+	next := nodeBase
+	for b := 0; b < isBuckets; b++ {
+		h.PokeWord(isDict+memsys.Addr(b)*8, uint64(next))
+		for n := 0; n < isChainLen; n++ {
+			h.PokeWord(next, mix64(uint64(b)<<4|uint64(n)))
+			nxt := next + 16
+			if n == isChainLen-1 {
+				h.PokeWord(next+8, 0)
+			} else {
+				h.PokeWord(next+8, uint64(nxt))
+			}
+			next = nxt
+		}
+	}
+	for w := 0; w < isAffixWords; w++ {
+		h.PokeWord(isAffix+memsys.Addr(w)*8, mix64(uint64(w)+99))
+	}
+	h.PokeWord(isCur, 1)
+}
+
+func (s *ispell) Stage1(e *engine.Env, it int) bool {
+	cur := e.Load(isCur)
+	e.Store(isProduced, mix64(cur)) // the word to check
+	e.Store(isCur, cur+1)
+	// Sequential input scanning and token classification.
+	e.Compute(isS1Work)
+	e.Branch(80, it+1 < s.iters)
+	return it+1 < s.iters
+}
+
+func (s *ispell) Stage2(e *engine.Env, it int) bool {
+	word := e.Load(isProduced)
+	outBase := isOut + memsys.Addr(it)*memsys.LineSize
+
+	found := uint64(0)
+	// Hash lookup with affix-stripping retries (up to 3 word forms).
+	for form := 0; form < 3 && found == 0; form++ {
+		key := mix64(word + uint64(form)*0x9E37)
+		node := e.Load(isDict + memsys.Addr(key%isBuckets)*8)
+		for n := 0; node != 0 && n < isChainLen; n++ {
+			val := e.Load(memsys.Addr(node))
+			hit := val%32 == key%32
+			e.Branch(81, hit)
+			if hit {
+				found = val
+				break
+			}
+			node = e.Load(memsys.Addr(node) + 8)
+		}
+		if found == 0 {
+			// Strip an affix and retry: moderately unpredictable.
+			aff := e.Load(isAffix + memsys.Addr(key%isAffixWords)*8)
+			e.Branch(82, chance(word, uint64(form), 40))
+			e.Compute(3)
+			word ^= aff >> 5
+		}
+	}
+	// Capitalisation/verification passes re-walk the first chain and the
+	// affix entries (already-marked lines: no further SLAs).
+	for pass := 0; pass < 3; pass++ {
+		key := mix64(word)
+		node := e.Load(isDict + memsys.Addr(key%isBuckets)*8)
+		for n := 0; node != 0 && n < isChainLen; n++ {
+			v := e.Load(memsys.Addr(node))
+			node = e.Load(memsys.Addr(node) + 8)
+			found ^= v >> uint(pass)
+			e.Branch(83, true)
+		}
+		e.Compute(4)
+	}
+	e.Store(outBase, found)
+	e.Store(outBase+8, word)
+	return false
+}
+
+func (s *ispell) Checksum(h *memsys.Hierarchy) uint64 {
+	var sum uint64
+	for it := 0; it < s.iters; it++ {
+		outBase := isOut + memsys.Addr(it)*memsys.LineSize
+		sum = mix64(sum ^ h.PeekWord(outBase) ^ h.PeekWord(outBase+8))
+	}
+	return sum
+}

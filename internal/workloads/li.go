@@ -1,0 +1,153 @@
+package workloads
+
+import (
+	"hmtx/internal/engine"
+	"hmtx/internal/memsys"
+	"hmtx/internal/paradigm"
+)
+
+// li models 130.li: a Lisp interpreter evaluating one expression per
+// iteration. Stage 1 pops the next expression root and bump-allocates the
+// iteration's result region (both loop-carried); stage 2 walks the cons-cell
+// tree and writes result cells. The transactions are the largest of the
+// suite (Table 1: 181M speculative accesses per transaction at native scale)
+// with branchy, pointer-chasing control flow (20.5% branches, 3.65%
+// misprediction).
+type li struct {
+	iters int
+	alloc memsys.Addr // setup-time cell allocator
+}
+
+const (
+	liExprCur  = memsys.Addr(0x2000) // cursor into the expression list
+	liProduced = memsys.Addr(0x2040) // produced expression pointer
+	liAllocCur = memsys.Addr(0x2080) // bump allocator for result regions
+	liExprs    = memsys.Addr(0x2100000)
+	liHeap     = memsys.Addr(0x2200000)
+	liResults  = memsys.Addr(0x2800000)
+
+	liTreeBudget  = 1200 // cons cells per expression tree
+	liResultWords = 384
+	liS1Work      = 90000 // stage-1 cycles: calibrated to Figure 8
+	liMarkCells   = 600   // cells re-visited by the GC mark pass
+	liResultBytes = (liResultWords*8 + memsys.LineSize - 1) / memsys.LineSize * memsys.LineSize
+)
+
+func newLi(scale int) paradigm.Loop { return &li{iters: 30 * scale} }
+
+func (l *li) Name() string { return "130.li" }
+func (l *li) Iters() int   { return l.iters }
+
+func (l *li) Setup(h *memsys.Hierarchy) {
+	l.alloc = liHeap
+	for it := 0; it < l.iters; it++ {
+		budget := liTreeBudget
+		root := l.build(h, mix64(uint64(it)+7), &budget, 0)
+		h.PokeWord(liExprs+memsys.Addr(it)*8, uint64(root))
+	}
+	h.PokeWord(liExprCur, uint64(liExprs))
+	h.PokeWord(liAllocCur, uint64(liResults))
+}
+
+// build constructs a random cons tree: a cell is two words, car and cdr.
+// Leaves store a tagged immediate (value<<1 | 1); internal cells store
+// 16-byte-aligned cell pointers.
+func (l *li) build(h *memsys.Hierarchy, seed uint64, budget *int, depth int) memsys.Addr {
+	cell := l.alloc
+	l.alloc += 16
+	*budget--
+	if *budget <= 1 || depth > 40 || chance(seed, 11, 60) {
+		h.PokeWord(cell, mix64(seed)<<1|1)
+		h.PokeWord(cell+8, 0)
+		return cell
+	}
+	left := l.build(h, mix64(seed*2+1), budget, depth+1)
+	right := l.build(h, mix64(seed*2+2), budget, depth+1)
+	h.PokeWord(cell, uint64(left))
+	h.PokeWord(cell+8, uint64(right))
+	return cell
+}
+
+func (l *li) Stage1(e *engine.Env, it int) bool {
+	cur := e.Load(liExprCur)
+	expr := e.Load(memsys.Addr(cur))
+	e.Store(liProduced, expr)
+	e.Store(liExprCur, cur+8)
+	// Bump-allocate this iteration's result region (loop-carried).
+	res := e.Load(liAllocCur)
+	e.Store(liAllocCur, res+liResultBytes)
+	// Interpreter bookkeeping between evaluations (GC scan, env
+	// maintenance): the sequential pipeline stage carries real work.
+	e.Compute(liS1Work)
+	e.Branch(20, it+1 < l.iters)
+	return it+1 < l.iters
+}
+
+func (l *li) Stage2(e *engine.Env, it int) bool {
+	root := e.Load(liProduced)
+	resBase := memsys.Addr(uint64(liResults) + uint64(it)*liResultBytes)
+	stack := make([]uint64, 0, 64)
+	stack = append(stack, root)
+	var acc uint64
+	visited, writes := 0, 0
+	for len(stack) > 0 {
+		n := memsys.Addr(stack[len(stack)-1])
+		stack = stack[:len(stack)-1]
+		car := e.Load(n)
+		cdr := e.Load(n + 8)
+		visited++
+		e.Compute(2)
+		e.Branch(21, true) // eval-loop branch, always predicted
+		if car&1 == 1 {
+			acc = mix64(acc + car>>1)
+			if visited%4 == 0 && writes < liResultWords {
+				e.Store(resBase+memsys.Addr(writes)*8, acc)
+				writes++
+			}
+		} else {
+			stack = append(stack, car)
+			if cdr != 0 {
+				stack = append(stack, cdr)
+			}
+		}
+		if visited%6 == 0 {
+			// GC / type-dispatch style branch: occasionally taken,
+			// calibrated to li's 3.65% misprediction rate.
+			e.Branch(22, chance(uint64(it), uint64(visited), 220))
+		}
+	}
+	// GC mark pass: re-visit the first part of the tree (the lines are
+	// already marked by this transaction, so no further SLAs are needed).
+	stack = append(stack[:0], root)
+	marked := 0
+	for len(stack) > 0 && marked < liMarkCells {
+		n := memsys.Addr(stack[len(stack)-1])
+		stack = stack[:len(stack)-1]
+		car := e.Load(n)
+		cdr := e.Load(n + 8)
+		marked++
+		e.Branch(23, true)
+		if car&1 == 0 {
+			stack = append(stack, car)
+			if cdr != 0 {
+				stack = append(stack, cdr)
+			}
+		}
+	}
+	for writes < liResultWords/4 {
+		e.Store(resBase+memsys.Addr(writes)*8, acc)
+		writes++
+	}
+	return false
+}
+
+func (l *li) Checksum(h *memsys.Hierarchy) uint64 {
+	var sum uint64
+	for it := 0; it < l.iters; it++ {
+		resBase := memsys.Addr(uint64(liResults) + uint64(it)*liResultBytes)
+		for w := 0; w < liResultWords; w += 5 {
+			sum = mix64(sum ^ h.PeekWord(resBase+memsys.Addr(w)*8))
+		}
+	}
+	return sum
+}

@@ -1,0 +1,117 @@
+package workloads
+
+import (
+	"hmtx/internal/engine"
+	"hmtx/internal/memsys"
+	"hmtx/internal/paradigm"
+)
+
+// parser models 197.parser: link-grammar parsing of one sentence per
+// iteration. Each word is looked up in a shared chained-hash dictionary
+// (pointer chasing through linked nodes) and parse structures are written to
+// a per-sentence region. Table 1: ~24.7M accesses per transaction at native
+// scale, 19.2% branches, 1.05% misprediction; the paper notes parser was one
+// of two benchmarks whose non-speculative S-O lines overflowed the caches.
+type parser struct {
+	iters int
+}
+
+const (
+	paCur      = memsys.Addr(0x5000)
+	paProduced = memsys.Addr(0x5040)
+	paDict     = memsys.Addr(0x5100000) // shared dictionary: buckets + chains
+	paOut      = memsys.Addr(0x5800000) // per-sentence parse output
+
+	paBuckets   = 1024
+	paChainLen  = 12
+	paWords     = 40 // words per sentence
+	paPasses    = 3  // linkage attempts re-walking the same chains
+	paOutWords  = 480
+	paNodeWords = 2     // [value, next]
+	paS1Work    = 45000 // stage-1 cycles: calibrated to Figure 8
+)
+
+func newParser(scale int) paradigm.Loop { return &parser{iters: 36 * scale} }
+
+func (p *parser) Name() string { return "197.parser" }
+func (p *parser) Iters() int   { return p.iters }
+
+func (p *parser) Setup(h *memsys.Hierarchy) {
+	// Bucket heads at paDict; chain nodes behind them.
+	nodeBase := paDict + memsys.Addr(paBuckets)*8
+	next := nodeBase
+	for b := 0; b < paBuckets; b++ {
+		h.PokeWord(paDict+memsys.Addr(b)*8, uint64(next))
+		for n := 0; n < paChainLen; n++ {
+			h.PokeWord(next, mix64(uint64(b)<<8|uint64(n)))
+			nxt := next + paNodeWords*8
+			if n == paChainLen-1 {
+				h.PokeWord(next+8, 0)
+			} else {
+				h.PokeWord(next+8, uint64(nxt))
+			}
+			next = nxt
+		}
+	}
+	h.PokeWord(paCur, 1)
+}
+
+func (p *parser) Stage1(e *engine.Env, it int) bool {
+	cur := e.Load(paCur)
+	e.Store(paProduced, mix64(cur)) // the sentence seed
+	e.Store(paCur, cur+1)
+	// Sequential tokenization and sentence setup.
+	e.Compute(paS1Work)
+	e.Branch(50, it+1 < p.iters)
+	return it+1 < p.iters
+}
+
+func (p *parser) Stage2(e *engine.Env, it int) bool {
+	seed := e.Load(paProduced)
+	outBase := paOut + memsys.Addr(it)*paOutWords*8
+
+	outPos := 0
+	for pass := 0; pass < paPasses; pass++ {
+		for w := 0; w < paWords; w++ {
+			wordKey := mix64(seed + uint64(w))
+			bucket := wordKey % paBuckets
+			node := e.Load(paDict + memsys.Addr(bucket)*8)
+			// Walk the chain looking for the word; chain-walk branches
+			// are regular (almost always continue), so mispredictions
+			// stay low (1.05%).
+			for n := 0; node != 0 && n < paChainLen; n++ {
+				val := e.Load(memsys.Addr(node))
+				found := val%64 == wordKey%64
+				e.Branch(51, found)
+				if found {
+					break
+				}
+				node = e.Load(memsys.Addr(node) + 8)
+				e.Compute(1)
+			}
+			// Emit parse links for this word.
+			for k := 0; k < 4 && outPos < paOutWords; k++ {
+				e.Store(outBase+memsys.Addr(outPos)*8, wordKey^uint64(k)<<32)
+				outPos++
+			}
+			if chance(seed, uint64(pass)<<8|uint64(w), 10) {
+				e.Branch(52, true) // rare reparse path
+				e.Compute(20)
+			} else {
+				e.Branch(52, false)
+			}
+		}
+	}
+	return false
+}
+
+func (p *parser) Checksum(h *memsys.Hierarchy) uint64 {
+	var sum uint64
+	for it := 0; it < p.iters; it++ {
+		outBase := paOut + memsys.Addr(it)*paOutWords*8
+		for w := 0; w < paOutWords; w += 4 {
+			sum = mix64(sum ^ h.PeekWord(outBase+memsys.Addr(w)*8))
+		}
+	}
+	return sum
+}

@@ -1,0 +1,85 @@
+// Package workloads provides the eight benchmark kernels of the paper's
+// evaluation (Table 1): seven SPEC benchmarks and one MiBench benchmark,
+// re-created as synthetic kernels whose parallelization paradigm, memory
+// footprint, branch behaviour and speculative-access counts are calibrated
+// to the published statistics (scaled down so full runs complete in seconds
+// of host time; see EXPERIMENTS.md for the scale factors).
+//
+// Every kernel follows the paradigm.Loop decomposition: stage 1 advances a
+// loop-carried cursor held in simulated memory and publishes the iteration's
+// input through versioned memory (the producedNode pattern of Figure 3);
+// stage 2 performs the iteration's work. All mutable state lives in
+// simulated memory, so kernels replay correctly after misspeculation.
+package workloads
+
+import (
+	"fmt"
+
+	"hmtx/internal/paradigm"
+)
+
+// Spec describes one benchmark.
+type Spec struct {
+	// Name is the benchmark's name as it appears in the paper.
+	Name string
+	// Paradigm is the parallelization paradigm of Table 1.
+	Paradigm paradigm.Kind
+	// HasSMTX reports whether the paper has an SMTX comparison for this
+	// benchmark (6 of the 8; 186.crafty and ispell do not, §6.1).
+	HasSMTX bool
+	// HotLoopPct is the hot loop's share of native execution time
+	// (Table 1), used to convert hot-loop speedup to whole-program
+	// speedup via Amdahl's law.
+	HotLoopPct float64
+	// New constructs the kernel. scale multiplies the iteration count;
+	// scale 1 is the configuration used in EXPERIMENTS.md.
+	New func(scale int) paradigm.Loop
+}
+
+// All returns the eight benchmarks in the paper's order (Table 1).
+func All() []Spec {
+	return []Spec{
+		{Name: "052.alvinn", Paradigm: paradigm.DOALL, HasSMTX: true, HotLoopPct: 85.5,
+			New: func(s int) paradigm.Loop { return newAlvinn(s) }},
+		{Name: "130.li", Paradigm: paradigm.PSDSWP, HasSMTX: true, HotLoopPct: 100,
+			New: func(s int) paradigm.Loop { return newLi(s) }},
+		{Name: "164.gzip", Paradigm: paradigm.PSDSWP, HasSMTX: true, HotLoopPct: 98.4,
+			New: func(s int) paradigm.Loop { return newGzip(s) }},
+		{Name: "186.crafty", Paradigm: paradigm.PSDSWP, HasSMTX: false, HotLoopPct: 99.5,
+			New: func(s int) paradigm.Loop { return newCrafty(s) }},
+		{Name: "197.parser", Paradigm: paradigm.PSDSWP, HasSMTX: true, HotLoopPct: 100,
+			New: func(s int) paradigm.Loop { return newParser(s) }},
+		{Name: "256.bzip2", Paradigm: paradigm.PSDSWP, HasSMTX: true, HotLoopPct: 98.5,
+			New: func(s int) paradigm.Loop { return newBzip2(s) }},
+		{Name: "456.hmmer", Paradigm: paradigm.PSDSWP, HasSMTX: true, HotLoopPct: 100,
+			New: func(s int) paradigm.Loop { return newHmmer(s) }},
+		{Name: "ispell", Paradigm: paradigm.PSDSWP, HasSMTX: false, HotLoopPct: 86.5,
+			New: func(s int) paradigm.Loop { return newIspell(s) }},
+	}
+}
+
+// ByName returns the spec for a benchmark name.
+func ByName(name string) (Spec, error) {
+	for _, s := range All() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("workloads: unknown benchmark %q", name)
+}
+
+// mix64 is the splitmix64 finalizer: a cheap, deterministic hash used to
+// derive per-iteration data patterns and branch outcomes.
+func mix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// chance reports a deterministic pseudo-random event with probability
+// per1000/1000, derived from the pair (a, b). Kernels use it for
+// data-dependent branch outcomes with a target misprediction rate.
+func chance(a, b uint64, per1000 uint64) bool {
+	return mix64(a*0x1000193+b)%1000 < per1000
+}

@@ -1,0 +1,122 @@
+package workloads
+
+import (
+	"testing"
+
+	"hmtx/internal/engine"
+	"hmtx/internal/hmtx"
+	"hmtx/internal/memsys"
+	"hmtx/internal/paradigm"
+	"hmtx/internal/smtx"
+)
+
+// checksummer is implemented by every kernel so executions can be compared.
+type checksummer interface {
+	Checksum(h *memsys.Hierarchy) uint64
+}
+
+// runSeq executes the loop sequentially and returns (cycles, checksum).
+func runSeq(t *testing.T, spec Spec, scale int) (int64, uint64) {
+	t.Helper()
+	sys := engine.New(engine.DefaultConfig())
+	loop := spec.New(scale)
+	loop.Setup(sys.Mem)
+	cyc := paradigm.RunSequential(sys, loop)
+	return cyc, loop.(checksummer).Checksum(sys.Mem)
+}
+
+func TestAllBenchmarksHMTXMatchSequential(t *testing.T) {
+	for _, spec := range All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			_, want := runSeq(t, spec, 1)
+
+			sys := engine.New(engine.DefaultConfig())
+			loop := spec.New(1)
+			loop.Setup(sys.Mem)
+			out := hmtx.Run(sys, loop, spec.Paradigm, 4)
+			if out.Aborts != 0 {
+				t.Errorf("aborts = %d, want 0 (only high-confidence speculation, §6.3)", out.Aborts)
+			}
+			if out.Iterations != loop.Iters() {
+				t.Errorf("iterations = %d, want %d", out.Iterations, loop.Iters())
+			}
+			if got := loop.(checksummer).Checksum(sys.Mem); got != want {
+				t.Errorf("checksum = %#x, want %#x (sequential)", got, want)
+			}
+		})
+	}
+}
+
+func TestAllBenchmarksSMTXMatchSequential(t *testing.T) {
+	for _, spec := range All() {
+		if !spec.HasSMTX {
+			continue
+		}
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			_, want := runSeq(t, spec, 1)
+			for _, mode := range []smtx.Mode{smtx.MinSet, smtx.MaxSet} {
+				sys := engine.New(engine.DefaultConfig())
+				loop := spec.New(1)
+				loop.Setup(sys.Mem)
+				out := smtx.Run(sys, loop, spec.Paradigm, 4, mode, smtx.DefaultConfig())
+				if out.Iterations != loop.Iters() {
+					t.Errorf("%v: iterations = %d, want %d", mode, out.Iterations, loop.Iters())
+				}
+				if got := loop.(checksummer).Checksum(sys.Mem); got != want {
+					t.Errorf("%v: checksum = %#x, want %#x", mode, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestBenchmarksSpeedUpUnderHMTX(t *testing.T) {
+	for _, spec := range All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			seq, _ := runSeq(t, spec, 1)
+			sys := engine.New(engine.DefaultConfig())
+			loop := spec.New(1)
+			loop.Setup(sys.Mem)
+			out := hmtx.Run(sys, loop, spec.Paradigm, 4)
+			speedup := float64(seq) / float64(out.Cycles)
+			t.Logf("%s %v: seq=%d par=%d speedup=%.2fx", spec.Name, spec.Paradigm, seq, out.Cycles, speedup)
+			if speedup <= 1.0 {
+				t.Errorf("speedup %.2f <= 1; HMTX should profit on every benchmark (Figure 8)", speedup)
+			}
+		})
+	}
+}
+
+func TestBenchmarkDeterminism(t *testing.T) {
+	spec, err := ByName("164.gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() (int64, uint64) {
+		sys := engine.New(engine.DefaultConfig())
+		loop := spec.New(1)
+		loop.Setup(sys.Mem)
+		out := hmtx.Run(sys, loop, spec.Paradigm, 4)
+		return out.Cycles, loop.(checksummer).Checksum(sys.Mem)
+	}
+	c1, s1 := run()
+	c2, s2 := run()
+	if c1 != c2 || s1 != s2 {
+		t.Fatalf("non-deterministic: (%d,%#x) vs (%d,%#x)", c1, s1, c2, s2)
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("no-such-benchmark"); err == nil {
+		t.Fatal("ByName should fail for unknown benchmarks")
+	}
+	for _, spec := range All() {
+		got, err := ByName(spec.Name)
+		if err != nil || got.Name != spec.Name {
+			t.Fatalf("ByName(%q) = %v, %v", spec.Name, got.Name, err)
+		}
+	}
+}
