@@ -1,0 +1,64 @@
+// Command hmtxlint runs the hmtx determinism analyzers over Go packages.
+//
+// Usage:
+//
+//	hmtxlint [packages]
+//
+// With no arguments it checks ./... . It exits non-zero if any analyzer
+// reports a diagnostic, printing one file:line:col line per finding. The
+// rules (see tools/analyzers/*) enforce the determinism contract from
+// DESIGN.md: no map-iteration-order dependence (detrange), no wall-clock or
+// ambient randomness (noclock), and no cache-line protocol mutation outside
+// internal/memsys (statemut).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"hmtx/tools/analyzers/analysis"
+	"hmtx/tools/analyzers/detrange"
+	"hmtx/tools/analyzers/noclock"
+	"hmtx/tools/analyzers/statemut"
+)
+
+var analyzers = []*analysis.Analyzer{
+	detrange.Analyzer,
+	noclock.Analyzer,
+	statemut.Analyzer,
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hmtxlint: ")
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(patterns...)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	found := 0
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			diags, err := analysis.Run(pkg, a)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, d := range diags {
+				fmt.Printf("%s: %s [%s]\n", pkg.Fset.Position(d.Pos), d.Message, a.Name)
+				found++
+			}
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(os.Stderr, "hmtxlint: %d finding(s)\n", found)
+		os.Exit(1)
+	}
+}

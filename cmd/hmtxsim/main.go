@@ -6,6 +6,7 @@
 //	hmtxsim -bench 164.gzip [-system hmtx|smtx-min|smtx-max|seq]
 //	        [-paradigm auto|doall|doacross|dswp|psdswp]
 //	        [-cores 4] [-scale 1] [-no-sla] [-vid-bits 6] [-eager-commit]
+//	        [-sanitize]
 //
 // hmtxsim -list prints the available benchmarks.
 package main
@@ -35,6 +36,7 @@ func main() {
 	noSLA := flag.Bool("no-sla", false, "disable speculative load acknowledgments (§5.1)")
 	vidBits := flag.Uint("vid-bits", 6, "hardware VID width in bits (§4.6)")
 	eager := flag.Bool("eager-commit", false, "use eager commit sweeps instead of lazy commits (§5.3)")
+	sanitize := flag.Bool("sanitize", false, "run under MOESI-San: assert coherence invariants after every memory operation")
 	list := flag.Bool("list", false, "list benchmarks and exit")
 	flag.Parse()
 
@@ -77,6 +79,7 @@ func main() {
 	cfg.Mem.SLAEnabled = !*noSLA
 	cfg.Mem.VIDSpace = vid.Space{Bits: *vidBits}
 	cfg.Mem.EagerCommit = *eager
+	cfg.Mem.Sanitize = *sanitize
 
 	// Sequential reference for the speedup.
 	seqSys := engine.New(cfg)

@@ -67,6 +67,13 @@ type core struct {
 	parked    parkKind
 	parkedReq request
 
+	// pendingReq is the core's next request, received eagerly by the
+	// scheduler as soon as the program goroutine issued it. A core whose
+	// program is between requests never runs concurrently with another:
+	// the scheduler hands execution to exactly one goroutine at a time.
+	pendingReq request
+	hasReq     bool
+
 	curSeq vid.Seq
 
 	// Branch predictor: per-site 2-bit saturating counters.
@@ -166,7 +173,14 @@ func (s *System) Run(programs []Program) RunResult {
 	live := s.cores[:len(programs)]
 	for _, c := range live {
 		c.time, c.finish, c.done, c.parked, c.curSeq = 0, 0, false, parkNone, 0
+		c.hasReq = false
 	}
+	// Launch the program goroutines one at a time, receiving each core's
+	// first request before starting the next. Together with receive()
+	// below this serialises all user code: exactly one program goroutine
+	// executes between scheduler events, so programs may share host-side
+	// state (test closures, read-only tables) without data races, and the
+	// interleaving is fully deterministic for a given Config.Seed.
 	for i, p := range programs {
 		c := live[i]
 		prog := p
@@ -181,6 +195,7 @@ func (s *System) Run(programs []Program) RunResult {
 			}()
 			prog(&Env{sys: s, c: c})
 		}()
+		s.receive(c)
 	}
 
 	for s.nLive > 0 {
@@ -188,8 +203,15 @@ func (s *System) Run(programs []Program) RunResult {
 		if c == nil {
 			s.dumpDeadlock(live)
 		}
-		r := <-c.req
+		r := c.pendingReq
+		c.hasReq = false
 		s.handle(c, r)
+		if !c.done && c.parked == parkNone {
+			// handle responded: the program is running again. Wait
+			// for its next request so no user code runs concurrently
+			// with whichever core the scheduler picks next.
+			s.receive(c)
+		}
 		s.retryParked(live)
 	}
 
@@ -207,10 +229,18 @@ func (s *System) Run(programs []Program) RunResult {
 	}
 }
 
+// receive blocks until core c's program issues its next request, letting its
+// goroutine run user code up to that point. It must only be called when c's
+// goroutine is the one executing (just launched, or just sent a response).
+func (s *System) receive(c *core) {
+	c.pendingReq = <-c.req
+	c.hasReq = true
+}
+
 func (s *System) pickRunnable(live []*core) *core {
 	var best *core
 	for _, c := range live {
-		if c.done || c.parked != parkNone {
+		if c.done || c.parked != parkNone || !c.hasReq {
 			continue
 		}
 		if best == nil || c.time < best.time {
@@ -517,6 +547,9 @@ func (s *System) triggerAbort(cause string, c *core) {
 // retryParked re-examines parked cores after every event, waking those whose
 // condition now holds. Iteration repeats until a fixed point so that chains
 // (commit unblocking commit unblocking a VID reset) resolve in one pass.
+// Every response is immediately followed by receive(), so a woken program
+// runs alone until it issues its next request — the serialisation invariant
+// of Run holds here too.
 func (s *System) retryParked(live []*core) {
 	for changed := true; changed; {
 		changed = false
@@ -527,6 +560,7 @@ func (s *System) retryParked(live []*core) {
 			if s.aborting {
 				c.parked = parkNone
 				c.resp <- response{abort: true}
+				s.receive(c)
 				changed = true
 				continue
 			}
@@ -538,10 +572,12 @@ func (s *System) retryParked(live []*core) {
 					c.parked = parkNone
 					val := s.doConsume(c, q)
 					c.resp <- response{val: val, ok: true}
+					s.receive(c)
 					changed = true
 				} else if q.closed {
 					c.parked = parkNone
 					c.resp <- response{ok: false}
+					s.receive(c)
 					changed = true
 				}
 			case parkProduce:
@@ -553,6 +589,7 @@ func (s *System) retryParked(live []*core) {
 					}
 					s.doProduce(c, q, r.val)
 					c.resp <- response{}
+					s.receive(c)
 					changed = true
 				}
 			case parkCommit:
@@ -563,6 +600,7 @@ func (s *System) retryParked(live []*core) {
 					}
 					s.doCommit(c, r.seq)
 					c.resp <- response{}
+					s.receive(c)
 					changed = true
 				}
 			case parkAwait:
@@ -572,6 +610,7 @@ func (s *System) retryParked(live []*core) {
 						c.time = s.lastCommitTime
 					}
 					c.resp <- response{}
+					s.receive(c)
 					changed = true
 				}
 			case parkEpoch:
@@ -584,6 +623,7 @@ func (s *System) retryParked(live []*core) {
 					}
 					if s.begin(c, r) {
 						c.resp <- response{}
+						s.receive(c)
 					}
 					changed = true
 				}

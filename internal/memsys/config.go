@@ -47,6 +47,14 @@ type Config struct {
 	// all prior systems (§7.2).
 	SLAEnabled bool
 
+	// Sanitize enables MOESI-San, the global-invariant checker of
+	// sanitize.go: every protocol transaction is followed by an assertion
+	// pass over the lines it touched, and aborts verify the whole
+	// hierarchy. Checking is observational (it cannot change timing or
+	// eviction behaviour) but costs host time; it is off by default and
+	// meant for tests and the -sanitize flag of cmd/hmtxsim.
+	Sanitize bool
+
 	// EagerCommit disables the lazy commit scheme of §5.3: every commit
 	// sweeps all caches and transitions each speculative line
 	// immediately, paying cycles proportional to the resident lines —

@@ -28,6 +28,9 @@ type Hierarchy struct {
 	// the last-level cache during the current operation, forcing an
 	// abort (§5.4).
 	pendingOverflow bool
+
+	// san is the MOESI-San state (sanitize.go), active when cfg.Sanitize.
+	san sanitizer
 }
 
 // New builds a hierarchy for the given configuration.
@@ -75,7 +78,10 @@ func (h *Hierarchy) allCaches() []*cache { return append(append([]*cache{}, h.l1
 // Load performs a load by the given core. a is the VID of the issuing
 // transaction (vid.NonSpec for non-speculative execution).
 func (h *Hierarchy) Load(core int, addr Addr, a vid.V) (uint64, Result) {
-	return h.load(core, addr, a, true)
+	h.sanBegin(addr)
+	val, res := h.load(core, addr, a, true)
+	h.sanCheck()
+	return val, res
 }
 
 // WrongPathLoad performs a squashed branch-speculative load (§5.1): data
@@ -84,12 +90,13 @@ func (h *Hierarchy) Load(core int, addr Addr, a vid.V) (uint64, Result) {
 // misspeculations SLAs avoid (Table 1).
 func (h *Hierarchy) WrongPathLoad(core int, addr Addr, a vid.V) (uint64, Result) {
 	h.stats.WrongPathLoads++
-	if !h.cfg.SLAEnabled {
-		// Ablation: prior systems mark lines directly from squashed
-		// loads (§7.2), risking false misspeculation.
-		return h.load(core, addr, a, true)
-	}
-	return h.load(core, addr, a, false)
+	h.sanBegin(addr)
+	// With SLAs disabled, prior systems mark lines directly from squashed
+	// loads (§7.2), risking false misspeculation.
+	mark := !h.cfg.SLAEnabled
+	val, res := h.load(core, addr, a, mark)
+	h.sanCheck()
+	return val, res
 }
 
 func (h *Hierarchy) load(core int, addr Addr, a vid.V, mark bool) (uint64, Result) {
@@ -190,6 +197,7 @@ func (h *Hierarchy) localLoadMark(core int, l1 *cache, ln *Line, la Addr, a vid.
 			}
 		}
 		h.specReadTransition(ln, a)
+		dropLocalSpecSharedCopies(l1, ln)
 		h.trackLoad(core, la, res)
 	case ln.St.latest():
 		if a > ln.High {
@@ -213,10 +221,13 @@ func (h *Hierarchy) remoteLoadMark(core int, owner *Line, oc *cache, la Addr, a,
 	case !owner.St.Speculative():
 		if spec {
 			// Migrate the line to the requester with writable
-			// access, then mark it (§4.2).
+			// access, then mark it (§4.2). The transition happens
+			// before the install so that a stale S-S(0,·) copy in
+			// the requester merges with the arriving owner instead
+			// of lingering and double-serving its VID range.
 			moved := h.migrate(la, owner, oc)
-			nl := h.install(l1, moved)
-			h.specReadTransition(nl, a)
+			h.specReadTransition(&moved, a)
+			h.install(l1, moved)
 			h.trackLoad(core, la, res)
 			return
 		}
@@ -310,6 +321,7 @@ func (h *Hierarchy) trackLoad(core int, la Addr, res *Result) {
 
 // Store performs a store by the given core with transaction VID a.
 func (h *Hierarchy) Store(core int, addr Addr, val uint64, a vid.V) Result {
+	h.sanBegin(addr)
 	la := LineAddr(addr)
 	spec := a != vid.NonSpec
 	eff := a
@@ -443,6 +455,7 @@ func (h *Hierarchy) Store(core int, addr Addr, val uint64, a vid.V) Result {
 				hit.High = a
 				hit.Epoch = h.epoch
 				hit.SettledLC = h.lc
+				dropLocalSpecSharedCopies(l1, hit)
 			} else {
 				moved := h.migrate(la, hit, oc)
 				moved.St = SpecOwned
@@ -458,6 +471,7 @@ func (h *Hierarchy) Store(core int, addr Addr, val uint64, a vid.V) Result {
 	}
 
 	h.checkOverflow(&res)
+	h.sanCheck()
 	return res
 }
 
@@ -466,7 +480,9 @@ func (h *Hierarchy) Store(core int, addr Addr, val uint64, a vid.V) Result {
 // the version the VID would access, then marks the line. A mismatch means an
 // intervening conflicting store occurred and triggers misspeculation.
 func (h *Hierarchy) SLA(core int, addr Addr, a vid.V, expected uint64) Result {
+	h.sanBegin(addr)
 	val, res := h.load(core, addr, a, true)
+	h.sanCheck()
 	if val != expected {
 		res.Conflict = true
 		res.Cause = fmt.Sprintf("SLA mismatch at %#x vid %d: loaded %#x, now %#x", addr, a, expected, val)
@@ -514,6 +530,14 @@ func (h *Hierarchy) AbortAll() Result {
 		})
 	}
 	h.pendingOverflow = false
+	if h.cfg.Sanitize {
+		// The abort repaired any §5.4 overflow tear; the whole
+		// hierarchy must be consistent again.
+		h.san.muted = false
+		if err := h.CheckInvariants(); err != nil {
+			panic(err)
+		}
+	}
 	return Result{Lat: h.cfg.BusLat}
 }
 
@@ -620,6 +644,19 @@ func (h *Hierarchy) capSpecSharedCopies(lineAddr Addr, oldMod, a vid.V, except *
 	}
 }
 
+// dropLocalSpecSharedCopies invalidates same-cache S-S copies of the version
+// keep now owns. An in-place conversion of a non-speculative line into a
+// speculative owner of version 0 would otherwise leave a stale local
+// S-S(0,·) copy whose serve range overlaps the new owner's, double-serving
+// the VIDs both cover. (Dropping an S-S copy is always safe.)
+func dropLocalSpecSharedCopies(c *cache, keep *Line) {
+	for _, v := range c.versions(keep.Tag) {
+		if v != keep && v.St == SpecShared && v.Mod == keep.Mod {
+			v.St = Invalid
+		}
+	}
+}
+
 // dropSpecSharedCopies invalidates every S-S copy of lineAddr.
 func (h *Hierarchy) dropSpecSharedCopies(lineAddr Addr) {
 	for _, c := range h.allCaches() {
@@ -704,6 +741,7 @@ func (h *Hierarchy) install(c *cache, ln Line) *Line {
 // modVID 0 write back to memory (§5.4); any other speculative line forces an
 // abort.
 func (h *Hierarchy) placeVictim(v Line, from *cache) {
+	h.sanTouch(v.Tag)
 	if v.St == SpecShared {
 		return // a bounded copy; the owning version lives elsewhere
 	}
@@ -727,6 +765,9 @@ func (h *Hierarchy) placeVictim(v Line, from *cache) {
 	default:
 		h.stats.OverflowAborts++
 		h.pendingOverflow = true
+		// The dropped line tears the version chain until the forced
+		// abort repairs it: suppress invariant checks in between.
+		h.san.muted = true
 	}
 }
 
@@ -760,6 +801,7 @@ func (h *Hierarchy) PeekWord(addr Addr) uint64 {
 // PokeWord writes the committed value at addr directly, bypassing timing.
 // It must not be used while the line is speculatively accessed.
 func (h *Hierarchy) PokeWord(addr Addr, val uint64) {
+	h.sanBegin(addr)
 	la := LineAddr(addr)
 	for _, c := range h.allCaches() {
 		for _, v := range c.versions(la) {
@@ -770,6 +812,7 @@ func (h *Hierarchy) PokeWord(addr Addr, val uint64) {
 		}
 	}
 	h.mem.setWord(addr, val)
+	h.sanCheck()
 }
 
 // Versions returns copies of every valid version of the line containing

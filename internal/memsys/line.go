@@ -80,8 +80,8 @@ type Line struct {
 
 // String renders the line as in the paper's figures, e.g. "S-M(2,2)".
 func (l *Line) String() string {
-	if l.St.Speculative() {
-		return fmt.Sprintf("%s(%d,%d)", l.St, l.Mod, l.High)
+	if l == nil {
+		return "<nil line>"
 	}
 	return fmt.Sprintf("%s(%d,%d)", l.St, l.Mod, l.High)
 }

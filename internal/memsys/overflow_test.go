@@ -15,6 +15,7 @@ func tinyConfig(cores int) Config {
 	cfg.L1Ways = 2
 	cfg.L2Size = 1024 // 4 sets x 4 ways
 	cfg.L2Ways = 4
+	cfg.Sanitize = true
 	return cfg
 }
 

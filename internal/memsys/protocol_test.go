@@ -13,6 +13,10 @@ const addrA = Addr(0x1000)
 func newTestH(cores int) *Hierarchy {
 	cfg := DefaultConfig()
 	cfg.Cores = cores
+	// Every protocol test runs under MOESI-San: each operation asserts
+	// the global coherence invariants (sanitize.go), not just the
+	// observable read values.
+	cfg.Sanitize = true
 	return New(cfg)
 }
 
@@ -585,5 +589,52 @@ func TestWordHelpers(t *testing.T) {
 	}
 	if got := l.Word(0x40); got != 0 {
 		t.Fatalf("adjacent word = %#x, want 0", got)
+	}
+}
+
+// --- Sanitized end-to-end sweep ---------------------------------------------
+
+// TestProtocolSanitizedEndToEnd drives one full multi-core protocol story —
+// version creation, cross-core forwarding, group commit, misspeculation
+// abort, recovery — with MOESI-San asserting the global coherence invariants
+// after every single operation (newTestH sets Config.Sanitize).
+func TestProtocolSanitizedEndToEnd(t *testing.T) {
+	h := newTestH(4)
+	addrB := addrA + 4096
+
+	// Epoch of speculative versions across cores, with forwarding.
+	h.PokeWord(addrA, 10)
+	mustStore(t, h, 0, addrA, 11, 1) // S-O(0,1) + S-M(1,1)
+	mustStore(t, h, 1, addrA, 12, 2) // migrates latest, new version
+	if got := mustLoad(t, h, 2, addrA, 3); got != 12 {
+		t.Fatalf("forwarded uncommitted value = %d, want 12", got)
+	}
+	if got := mustLoad(t, h, 3, addrA, 1); got != 11 {
+		t.Fatalf("superseded version for VID 1 = %d, want 11", got)
+	}
+	mustLoad(t, h, 2, addrB, 3) // clean spec read: S-E
+
+	// Group commit the first two transactions; lines settle lazily.
+	h.Commit(1)
+	h.Commit(2)
+	if got := mustLoad(t, h, 0, addrA, vid.NonSpec); got != 12 {
+		t.Fatalf("committed value = %d, want 12", got)
+	}
+
+	// Misspeculate transaction 3 and recover.
+	mustStore(t, h, 2, addrB, 33, 3)
+	h.AbortAll()
+	if got := mustLoad(t, h, 1, addrB, vid.NonSpec); got != 0 {
+		t.Fatalf("aborted store survived: got %d, want 0", got)
+	}
+	if got := mustLoad(t, h, 1, addrA, vid.NonSpec); got != 12 {
+		t.Fatalf("committed value lost by abort: got %d, want 12", got)
+	}
+
+	// Recovery continues with the next VID and reuses the same lines.
+	mustStore(t, h, 3, addrB, 44, 3)
+	h.Commit(3)
+	if err := h.CheckInvariants(); err != nil {
+		t.Fatalf("final hierarchy violates invariants: %v", err)
 	}
 }

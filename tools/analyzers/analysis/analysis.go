@@ -1,0 +1,81 @@
+// Package analysis is a minimal, dependency-free re-implementation of the
+// golang.org/x/tools/go/analysis vocabulary: an Analyzer inspects one
+// type-checked package at a time and reports position-anchored diagnostics.
+//
+// Only the subset needed by the hmtx determinism linters is provided; there
+// are no facts, no analyzer dependencies, and no suggested fixes. Packages
+// are loaded with Load (see load.go), which shells out to `go list -export`
+// and type-checks target packages from source against compiler export data,
+// so the module needs no third-party imports.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer describes one lint rule.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, e.g. "detrange".
+	Name string
+	// Doc is a one-paragraph description of what the analyzer reports.
+	Doc string
+	// Run applies the rule to a single package and reports diagnostics
+	// through pass.Report. The returned value is ignored by the driver
+	// but kept for signature compatibility with go/analysis.
+	Run func(*Pass) (any, error)
+}
+
+// A Pass provides one analyzer with one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	PkgPath   string // import path; xtest packages carry a "_test" suffix
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// A Diagnostic is one reported problem.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Run applies one analyzer to one loaded package and returns its diagnostics
+// in source order (the order the analyzer reported them).
+func Run(pkg *Package, a *Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		PkgPath:   pkg.PkgPath,
+		TypesInfo: pkg.Info,
+		Report:    func(d Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+	}
+	return diags, nil
+}
+
+// NewInfo returns a types.Info with all maps the analyzers rely on.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+}

@@ -1,0 +1,248 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	PkgPath string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// ListedPackage mirrors the fields of `go list -json` output that the loader reads.
+type ListedPackage struct {
+	ImportPath   string
+	Name         string
+	Dir          string
+	GoFiles      []string
+	CgoFiles     []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Export       string
+	DepOnly      bool
+	Standard     bool
+	ForTest      string
+}
+
+// GoList runs `go list -export -deps -test -json` on patterns and returns the
+// decoded entries. Every dependency in the output carries the path of its
+// compiler export data, which is what lets the loader type-check without any
+// source for the transitive closure.
+func GoList(patterns ...string) ([]*ListedPackage, error) {
+	args := append([]string{"list", "-export", "-deps", "-test", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []*ListedPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		p := new(ListedPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// Load resolves patterns as `go list` would and type-checks every matched
+// package from source, including its in-package _test.go files. A package
+// with an external test package (package foo_test) yields a second *Package
+// whose PkgPath carries a "_test" suffix.
+func Load(patterns ...string) ([]*Package, error) {
+	listed, err := GoList(patterns...)
+	if err != nil {
+		return nil, err
+	}
+
+	c := NewChecker()
+	var targets []*ListedPackage
+	for _, p := range listed {
+		// Test variants ("pkg [pkg.test]", "pkg.test") duplicate the plain
+		// entries; only the plain entry describes the package's file split.
+		if p.ForTest != "" || strings.HasSuffix(p.ImportPath, ".test") {
+			continue
+		}
+		if p.Export != "" {
+			c.exports[p.ImportPath] = p.Export
+		}
+		if p.DepOnly || p.Standard {
+			continue
+		}
+		if len(p.CgoFiles) > 0 {
+			return nil, fmt.Errorf("%s: cgo packages are not supported", p.ImportPath)
+		}
+		targets = append(targets, p)
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	// Register every target as a source unit first so that imports between
+	// targets (and the external test package's import of its own package)
+	// resolve to the source-checked package, test files included.
+	for _, p := range targets {
+		files := joinDir(p.Dir, p.GoFiles)
+		files = append(files, joinDir(p.Dir, p.TestGoFiles)...)
+		c.AddUnit(p.ImportPath, files)
+		if len(p.XTestGoFiles) > 0 {
+			c.AddUnit(p.ImportPath+"_test", joinDir(p.Dir, p.XTestGoFiles))
+		}
+	}
+
+	var pkgs []*Package
+	for _, p := range targets {
+		for _, path := range []string{p.ImportPath, p.ImportPath + "_test"} {
+			if _, ok := c.units[path]; !ok {
+				continue
+			}
+			pkg, err := c.Package(path)
+			if err != nil {
+				return nil, err
+			}
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}
+
+func joinDir(dir string, names []string) []string {
+	paths := make([]string, len(names))
+	for i, n := range names {
+		paths[i] = filepath.Join(dir, n)
+	}
+	return paths
+}
+
+// A unit is one package's worth of source files awaiting type-checking.
+type unit struct {
+	path     string
+	files    []string
+	syntax   []*ast.File
+	pkg      *types.Package
+	info     *types.Info
+	checking bool
+}
+
+// A Checker type-checks source units against each other and against compiler
+// export data for everything else. Source units shadow export data, so units
+// see each other's test-augmented form.
+type Checker struct {
+	fset    *token.FileSet
+	exports map[string]string // import path -> export data file
+	units   map[string]*unit  // import path -> source-loaded package
+	gc      types.Importer
+}
+
+// NewChecker returns an empty Checker. Populate exports via Exports and
+// source packages via AddUnit before calling Package.
+func NewChecker() *Checker {
+	c := &Checker{
+		fset:    token.NewFileSet(),
+		exports: make(map[string]string),
+		units:   make(map[string]*unit),
+	}
+	c.gc = importer.ForCompiler(c.fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := c.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	return c
+}
+
+// Exports exposes the import-path-to-export-data map for callers that gather
+// export data themselves (see analysistest).
+func (c *Checker) Exports() map[string]string { return c.exports }
+
+// AddUnit registers a source package under an import path.
+func (c *Checker) AddUnit(path string, files []string) {
+	c.units[path] = &unit{path: path, files: files}
+}
+
+// Package type-checks (once) and returns the unit registered under path.
+func (c *Checker) Package(path string) (*Package, error) {
+	u, ok := c.units[path]
+	if !ok {
+		return nil, fmt.Errorf("no source unit registered for %q", path)
+	}
+	if err := c.check(u); err != nil {
+		return nil, err
+	}
+	return &Package{
+		PkgPath: u.path,
+		Fset:    c.fset,
+		Files:   u.syntax,
+		Types:   u.pkg,
+		Info:    u.info,
+	}, nil
+}
+
+// Import implements types.Importer.
+func (c *Checker) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if u, ok := c.units[path]; ok {
+		if err := c.check(u); err != nil {
+			return nil, err
+		}
+		return u.pkg, nil
+	}
+	return c.gc.Import(path)
+}
+
+func (c *Checker) check(u *unit) error {
+	if u.pkg != nil {
+		return nil
+	}
+	if u.checking {
+		return fmt.Errorf("import cycle through %q", u.path)
+	}
+	u.checking = true
+	defer func() { u.checking = false }()
+
+	if u.syntax == nil {
+		for _, f := range u.files {
+			syntax, err := parser.ParseFile(c.fset, f, nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return err
+			}
+			u.syntax = append(u.syntax, syntax)
+		}
+	}
+	u.info = NewInfo()
+	conf := types.Config{
+		Importer: c,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	pkg, err := conf.Check(u.path, c.fset, u.syntax, u.info)
+	if err != nil {
+		return fmt.Errorf("type-checking %s: %v", u.path, err)
+	}
+	u.pkg = pkg
+	return nil
+}

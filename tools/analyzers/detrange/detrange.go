@@ -1,0 +1,144 @@
+// Package detrange flags `for range` loops over maps in simulation packages.
+//
+// Go randomizes map iteration order, so any map range whose body can affect
+// simulation state, simulated time, or report text breaks the determinism
+// contract (same Config.Seed => byte-identical output; see DESIGN.md). The
+// analyzer permits bodies that are provably order-insensitive — pure
+// key-indexed copies, deletes keyed by the range key, and integer
+// accumulation — and asks for everything else to iterate a sorted key slice.
+//
+// Test files are exempt: they only talk to testing.T, which tolerates
+// unordered reporting and cannot feed state back into a simulation run.
+package detrange
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"hmtx/tools/analyzers/analysis"
+	"hmtx/tools/analyzers/simscope"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "detrange",
+	Doc:  "flags map iteration with order-sensitive bodies in simulation packages",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !simscope.Covers(pass.PkgPath) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rs.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if orderInsensitive(pass, rs) {
+				return true
+			}
+			pass.Reportf(rs.For, "range over map has an order-sensitive body; iterate a sorted key slice to keep runs deterministic")
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// orderInsensitive reports whether every statement in the loop body commutes
+// across iterations, making the map's random order unobservable.
+func orderInsensitive(pass *analysis.Pass, rs *ast.RangeStmt) bool {
+	key, _ := rs.Key.(*ast.Ident)
+	for _, stmt := range rs.Body.List {
+		if !orderInsensitiveStmt(pass, key, stmt) {
+			return false
+		}
+	}
+	return true
+}
+
+func orderInsensitiveStmt(pass *analysis.Pass, key *ast.Ident, stmt ast.Stmt) bool {
+	switch s := stmt.(type) {
+	case *ast.AssignStmt:
+		switch s.Tok {
+		case token.ASSIGN:
+			// m2[k] = v: writes to distinct keys commute. Every target must
+			// be indexed by the range key and no operand may call anything.
+			for _, lhs := range s.Lhs {
+				ix, ok := lhs.(*ast.IndexExpr)
+				if !ok || !isIdent(pass, ix.Index, key) {
+					return false
+				}
+			}
+			return !anyCalls(s.Rhs)
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN,
+			token.AND_ASSIGN, token.XOR_ASSIGN:
+			// Integer accumulation commutes; float accumulation does not
+			// (rounding depends on order), strings concatenate in order.
+			return isInteger(pass, s.Lhs[0]) && !anyCalls(s.Rhs)
+		}
+		return false
+	case *ast.IncDecStmt:
+		return isInteger(pass, s.X)
+	case *ast.ExprStmt:
+		// delete(m2, k) removes distinct keys, which commutes.
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		fn, ok := call.Fun.(*ast.Ident)
+		if !ok || len(call.Args) != 2 {
+			return false
+		}
+		if b, ok := pass.TypesInfo.Uses[fn].(*types.Builtin); !ok || b.Name() != "delete" {
+			return false
+		}
+		return isIdent(pass, call.Args[1], key)
+	}
+	return false
+}
+
+func isIdent(pass *analysis.Pass, e ast.Expr, key *ast.Ident) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok || key == nil {
+		return false
+	}
+	return pass.TypesInfo.Uses[id] == pass.TypesInfo.Defs[key] && pass.TypesInfo.Defs[key] != nil
+}
+
+func isInteger(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func anyCalls(exprs []ast.Expr) bool {
+	for _, e := range exprs {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if _, ok := n.(*ast.CallExpr); ok {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package detrange_test
+
+import (
+	"testing"
+
+	"hmtx/tools/analyzers/analysis/analysistest"
+	"hmtx/tools/analyzers/detrange"
+)
+
+func TestDetrange(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), detrange.Analyzer, "rangedet")
+}

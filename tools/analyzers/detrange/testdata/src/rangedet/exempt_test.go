@@ -1,0 +1,12 @@
+package rangedet
+
+// Test files are exempt: order-sensitive map iteration here only affects
+// test reporting, never simulation state.
+
+func orderedInTest(m map[string]string) string {
+	s := ""
+	for _, v := range m {
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,65 @@
+package rangedet
+
+// Order-sensitive bodies: each of these observes map iteration order.
+
+func collectKeys(counts map[string]int) []string {
+	var keys []string
+	for k := range counts { // want `range over map has an order-sensitive body`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func sumFloats(xs map[int]float64) float64 {
+	var s float64
+	for _, x := range xs { // want `range over map has an order-sensitive body`
+		s += x
+	}
+	return s
+}
+
+func scatter(m, out map[int]int) {
+	i := 0
+	for _, v := range m { // want `range over map has an order-sensitive body`
+		out[i] = v
+		i++
+	}
+}
+
+func concat(parts map[int]string) string {
+	s := ""
+	for _, p := range parts { // want `range over map has an order-sensitive body`
+		s += p
+	}
+	return s
+}
+
+// Order-insensitive bodies: iteration order cannot be observed.
+
+func copyByKey(src, dst map[int]uint64) {
+	for a, v := range src {
+		dst[a] = v
+	}
+}
+
+func dropDead(live map[int]uint64, dead map[int]bool) {
+	for k := range dead {
+		delete(live, k)
+	}
+}
+
+func total(counts map[string]int) int {
+	n := 0
+	for _, c := range counts {
+		n += c
+	}
+	return n
+}
+
+func census(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}

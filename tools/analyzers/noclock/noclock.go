@@ -1,0 +1,89 @@
+// Package noclock keeps wall-clock time and ambient randomness out of the
+// simulation packages.
+//
+// The determinism contract (DESIGN.md) requires that a run be a pure
+// function of Config: simulated time advances only through engine cycles,
+// and every random decision flows from the single *rand.Rand the engine
+// seeds with Config.Seed. The analyzer therefore forbids, in simulation
+// packages:
+//
+//   - time.Now, time.Since, time.Until, time.Tick, time.After,
+//     time.AfterFunc, time.NewTicker, time.NewTimer — wall-clock reads;
+//   - package-level math/rand and math/rand/v2 functions (rand.Intn,
+//     rand.Float64, rand.Shuffle, ...) — the process-global generator is
+//     seeded randomly and shared across goroutines;
+//   - RNG constructors (rand.New, rand.NewSource, rand.NewPCG,
+//     rand.NewChaCha8, rand.NewZipf) anywhere except the engine package,
+//     which owns seeding, and _test.go files, which may build private
+//     generators with fixed seeds.
+//
+// Methods on an existing *rand.Rand value are always allowed — that value
+// necessarily came from an approved constructor.
+package noclock
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"hmtx/tools/analyzers/analysis"
+	"hmtx/tools/analyzers/simscope"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "noclock",
+	Doc:  "forbids wall-clock reads and unseeded randomness in simulation packages",
+	Run:  run,
+}
+
+var forbiddenTime = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Tick": true,
+	"After": true, "AfterFunc": true, "NewTicker": true, "NewTimer": true,
+}
+
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewPCG": true, "NewChaCha8": true, "NewZipf": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !simscope.Covers(pass.PkgPath) {
+		return nil, nil
+	}
+	// The engine owns RNG construction: engine.New seeds exactly one
+	// generator from cfg.Seed and everything else draws from it.
+	inEngine := strings.HasSuffix(strings.TrimSuffix(pass.PkgPath, "_test"), "internal/engine")
+
+	for _, file := range pass.Files {
+		inTestFile := strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go")
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // method values/calls, e.g. rng.Intn — allowed
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if forbiddenTime[fn.Name()] {
+					pass.Reportf(sel.Pos(), "time.%s reads the wall clock; simulated time must come from engine cycles", fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				switch {
+				case randConstructors[fn.Name()]:
+					if !inEngine && !inTestFile {
+						pass.Reportf(sel.Pos(), "rand.%s outside internal/engine; all simulation randomness must be seeded from Config.Seed by the engine", fn.Name())
+					}
+				default:
+					pass.Reportf(sel.Pos(), "global rand.%s uses the shared, randomly-seeded generator; draw from the engine's Config.Seed-seeded *rand.Rand", fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,42 @@
+package clock
+
+import (
+	"math/rand"
+	"time"
+)
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want `time\.Now reads the wall clock`
+}
+
+func wait() {
+	<-time.After(time.Second) // want `time\.After reads the wall clock`
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since reads the wall clock`
+}
+
+func roll() int {
+	return rand.Intn(6) // want `global rand\.Intn`
+}
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global rand\.Shuffle`
+}
+
+func gen() *rand.Rand {
+	return rand.New(rand.NewSource(1)) // want `rand\.New outside internal/engine` `rand\.NewSource outside internal/engine`
+}
+
+// Drawing from an existing generator is always fine: the value necessarily
+// came from an approved constructor.
+func draw(rng *rand.Rand) int {
+	return rng.Intn(6)
+}
+
+// Durations and time arithmetic on values passed in are fine; only the
+// wall-clock sources are forbidden.
+func deadline(t time.Time) time.Time {
+	return t.Add(3 * time.Second)
+}

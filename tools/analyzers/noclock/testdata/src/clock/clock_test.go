@@ -1,0 +1,8 @@
+package clock
+
+import "math/rand"
+
+// Test files may build private generators with fixed seeds.
+func fixedGen() *rand.Rand {
+	return rand.New(rand.NewSource(7))
+}

@@ -1,0 +1,14 @@
+package engine
+
+import "math/rand"
+
+// The engine owns RNG construction: seeding from Config.Seed happens here,
+// so constructors are allowed...
+func newRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// ...but the process-global generator is still off limits.
+func sample() int64 {
+	return rand.Int63() // want `global rand\.Int63`
+}

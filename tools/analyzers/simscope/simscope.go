@@ -1,0 +1,30 @@
+// Package simscope decides which packages the determinism lint rules apply
+// to. The simulator must be bit-reproducible for a fixed Config.Seed (see
+// DESIGN.md "Determinism contract"), so the rules cover exactly the packages
+// that compute simulated time, protocol state, or reported figures.
+package simscope
+
+import "strings"
+
+// SimPackages are the hmtx packages whose behaviour feeds simulation state
+// or experiment output, and therefore must be deterministic.
+var SimPackages = map[string]bool{
+	"hmtx/internal/engine":      true,
+	"hmtx/internal/memsys":      true,
+	"hmtx/internal/hmtx":        true,
+	"hmtx/internal/smtx":        true,
+	"hmtx/internal/experiments": true,
+}
+
+// Covers reports whether the lint rules apply to the package with the given
+// import path. Paths outside the hmtx module (analyzer test fixtures) are
+// always covered; hmtx packages are covered only when listed in SimPackages.
+// A "_test" suffix (the loader's marker for external test packages) is
+// ignored, so a package and its foo_test package are scoped identically.
+func Covers(path string) bool {
+	path = strings.TrimSuffix(path, "_test")
+	if path != "hmtx" && !strings.HasPrefix(path, "hmtx/") {
+		return true
+	}
+	return SimPackages[path]
+}

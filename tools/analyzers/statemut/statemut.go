@@ -1,0 +1,73 @@
+// Package statemut guards the memsys cache-line metadata against mutation
+// from outside the protocol implementation.
+//
+// The coherence invariants MOESI-San enforces (internal/memsys/sanitize.go)
+// are only meaningful if every transition of a line's protocol fields —
+// St, Mod, High, Epoch — happens inside internal/memsys, where the
+// transition helpers keep the hierarchy consistent. The analyzer reports
+// any assignment (plain, compound, or ++/--) whose target is one of those
+// fields from any other package, tests included.
+package statemut
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"hmtx/tools/analyzers/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "statemut",
+	Doc:  "forbids mutating memsys.Line protocol fields outside internal/memsys",
+	Run:  run,
+}
+
+var guardedFields = map[string]bool{
+	"St": true, "Mod": true, "High": true, "Epoch": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	// The protocol package itself (and its tests) owns the fields.
+	if strings.HasSuffix(strings.TrimSuffix(pass.PkgPath, "_test"), "internal/memsys") {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range s.Lhs {
+					report(pass, lhs)
+				}
+			case *ast.IncDecStmt:
+				report(pass, s.X)
+			case *ast.UnaryExpr:
+				// &l.St would let the caller mutate through a pointer.
+				if s.Op.String() == "&" {
+					report(pass, s.X)
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func report(pass *analysis.Pass, target ast.Expr) {
+	sel, ok := target.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	selection, ok := pass.TypesInfo.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return
+	}
+	field := selection.Obj()
+	if !guardedFields[field.Name()] || field.Pkg() == nil {
+		return
+	}
+	if !strings.HasSuffix(field.Pkg().Path(), "internal/memsys") {
+		return
+	}
+	pass.Reportf(sel.Pos(), "direct write to memsys line field %s outside internal/memsys; use the protocol transition helpers", field.Name())
+}

@@ -1,0 +1,15 @@
+package statemut_test
+
+import (
+	"testing"
+
+	"hmtx/tools/analyzers/analysis/analysistest"
+	"hmtx/tools/analyzers/statemut"
+)
+
+func TestStatemut(t *testing.T) {
+	// sim/internal/memsys exercises the own-package exemption: Promote
+	// writes the guarded fields and must produce no diagnostics.
+	analysistest.Run(t, analysistest.TestData(), statemut.Analyzer,
+		"smuser", "sim/internal/memsys")
+}

@@ -1,0 +1,23 @@
+// Package memsys is a fixture standing in for hmtx/internal/memsys: the
+// analyzer matches on the "internal/memsys" path suffix so the real package
+// need not be imported from testdata.
+package memsys
+
+type V uint32
+
+type State uint8
+
+type Line struct {
+	St    State
+	Mod   V
+	High  V
+	Epoch uint32
+	Data  [8]byte
+}
+
+// The protocol package itself may transition its own lines.
+func (l *Line) Promote(st State, mod, high V) {
+	l.St = st
+	l.Mod = mod
+	l.High = high
+}

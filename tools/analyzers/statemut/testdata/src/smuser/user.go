@@ -1,0 +1,20 @@
+package smuser
+
+import "sim/internal/memsys"
+
+func corrupt(l *memsys.Line) {
+	l.St = 3       // want `direct write to memsys line field St`
+	l.Mod++        // want `direct write to memsys line field Mod`
+	l.High = l.Mod // want `direct write to memsys line field High`
+	l.Epoch = 0    // want `direct write to memsys line field Epoch`
+}
+
+func alias(l *memsys.Line) *memsys.State {
+	return &l.St // want `direct write to memsys line field St`
+}
+
+// Reads and writes to unguarded fields are fine.
+func observe(l *memsys.Line) memsys.V {
+	l.Data[0] = 1
+	return l.Mod
+}
