@@ -4,16 +4,20 @@
 // Usage:
 //
 //	experiments [-scale N] [-cores N] [-only fig8,table1,...] [-ablations]
+//	            [-json BENCH_run.json]
 //
 // With no -only list it runs everything: Figure 1, Figure 2, Table 1,
 // Table 2, Figure 8, Figure 9 and Table 3, plus the design-choice ablations
-// when -ablations is set.
+// when -ablations is set. -json additionally writes the raw measurements as
+// a deterministic "hmtx-bench/v1" document (see EXPERIMENTS.md for how to
+// diff two of them).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"log"
 	"os"
 	"strings"
 
@@ -21,11 +25,14 @@ import (
 )
 
 func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
 	scale := flag.Int("scale", 1, "iteration-count multiplier for every benchmark")
 	cores := flag.Int("cores", 4, "number of simulated cores")
 	only := flag.String("only", "", "comma-separated subset: fig1,fig2,fig8,fig9,table1,table2,table3")
 	ablations := flag.Bool("ablations", false, "also run the design-choice ablations")
 	quiet := flag.Bool("q", false, "suppress progress output")
+	jsonOut := flag.String("json", "", "write the raw measurements as deterministic JSON to this file")
 	flag.Parse()
 
 	cfg := experiments.Config{Scale: *scale, Cores: *cores}
@@ -44,13 +51,26 @@ func main() {
 		fmt.Println(experiments.Fig1(*cores))
 	}
 
-	needSuite := pick("fig2") || pick("fig8") || pick("fig9") || pick("table1") || pick("table3")
+	needSuite := *jsonOut != "" ||
+		pick("fig2") || pick("fig8") || pick("fig9") || pick("table1") || pick("table3")
 	if needSuite {
 		var progress io.Writer = os.Stderr
 		if *quiet {
 			progress = nil
 		}
 		results := experiments.RunAll(cfg, progress)
+		if *jsonOut != "" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := experiments.WriteJSON(f, experiments.BuildDoc(cfg, results)); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}
 		if pick("table1") {
 			fmt.Println(experiments.Table1(results))
 		}

@@ -8,8 +8,9 @@
 // reports a diagnostic, printing one file:line:col line per finding. The
 // rules (see tools/analyzers/*) enforce the determinism contract from
 // DESIGN.md: no map-iteration-order dependence (detrange), no wall-clock or
-// ambient randomness (noclock), and no cache-line protocol mutation outside
-// internal/memsys (statemut).
+// ambient randomness (noclock), no cache-line protocol mutation outside
+// internal/memsys (statemut), and no unguarded trace emission on the
+// simulator fast path (tracegate).
 package main
 
 import (
@@ -22,12 +23,14 @@ import (
 	"hmtx/tools/analyzers/detrange"
 	"hmtx/tools/analyzers/noclock"
 	"hmtx/tools/analyzers/statemut"
+	"hmtx/tools/analyzers/tracegate"
 )
 
 var analyzers = []*analysis.Analyzer{
 	detrange.Analyzer,
 	noclock.Analyzer,
 	statemut.Analyzer,
+	tracegate.Analyzer,
 }
 
 func main() {

@@ -7,18 +7,29 @@
 //	        [-paradigm auto|doall|doacross|dswp|psdswp]
 //	        [-cores 4] [-scale 1] [-no-sla] [-vid-bits 6] [-eager-commit]
 //	        [-sanitize]
+//	        [-trace] [-trace-cats bus,txn,...] [-trace-out trace.json]
+//	        [-stats] [-stats-json stats.json]
+//
+// Observability (DESIGN.md §10): -trace streams a gem5-style text log of the
+// selected event categories to stdout; -trace-out writes the same events as
+// Chrome trace_event JSON (load in chrome://tracing or Perfetto). -stats
+// dumps the hierarchical statistics registry as an aligned table; -stats-json
+// writes the run summary plus the full registry as deterministic JSON. All
+// outputs are byte-identical across runs of the same configuration.
 //
 // hmtxsim -list prints the available benchmarks.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 
 	"hmtx/internal/engine"
 	"hmtx/internal/hmtx"
+	"hmtx/internal/obs"
 	"hmtx/internal/paradigm"
 	"hmtx/internal/smtx"
 	"hmtx/internal/vid"
@@ -26,19 +37,60 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("hmtxsim: ")
-	bench := flag.String("bench", "", "benchmark name (see -list)")
-	system := flag.String("system", "hmtx", "execution system: hmtx, smtx-min, smtx-max, seq")
-	par := flag.String("paradigm", "auto", "paradigm: auto, doall, doacross, dswp, psdswp")
-	cores := flag.Int("cores", 4, "number of simulated cores")
-	scale := flag.Int("scale", 1, "iteration-count multiplier")
-	noSLA := flag.Bool("no-sla", false, "disable speculative load acknowledgments (§5.1)")
-	vidBits := flag.Uint("vid-bits", 6, "hardware VID width in bits (§4.6)")
-	eager := flag.Bool("eager-commit", false, "use eager commit sweeps instead of lazy commits (§5.3)")
-	sanitize := flag.Bool("sanitize", false, "run under MOESI-San: assert coherence invariants after every memory operation")
-	list := flag.Bool("list", false, "list benchmarks and exit")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// statsDoc is the -stats-json document ("hmtx-run/v1"): the run summary plus
+// the nested statistics registry. Field order is fixed by the struct; the
+// stats tree is a map, which encoding/json marshals with sorted keys, so the
+// document is byte-identical across runs of the same configuration.
+type statsDoc struct {
+	Schema string         `json:"schema"`
+	Run    runDoc         `json:"run"`
+	Stats  map[string]any `json:"stats"`
+}
+
+type runDoc struct {
+	Bench      string  `json:"bench"`
+	System     string  `json:"system"`
+	Paradigm   string  `json:"paradigm"`
+	Cores      int     `json:"cores"`
+	Scale      int     `json:"scale"`
+	Iterations int     `json:"iterations"`
+	Cycles     int64   `json:"cycles"`
+	SeqCycles  int64   `json:"seq_cycles"`
+	Speedup    float64 `json:"speedup"`
+	Aborts     int     `json:"aborts"`
+	Runs       int     `json:"runs"`
+}
+
+// run is main's testable body: it parses args, runs the simulation and
+// writes all output to stdout/stderr, returning the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("hmtxsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	bench := fs.String("bench", "", "benchmark name (see -list)")
+	system := fs.String("system", "hmtx", "execution system: hmtx, smtx-min, smtx-max, seq")
+	par := fs.String("paradigm", "auto", "paradigm: auto, doall, doacross, dswp, psdswp")
+	cores := fs.Int("cores", 4, "number of simulated cores")
+	scale := fs.Int("scale", 1, "iteration-count multiplier")
+	noSLA := fs.Bool("no-sla", false, "disable speculative load acknowledgments (§5.1)")
+	vidBits := fs.Uint("vid-bits", 6, "hardware VID width in bits (§4.6)")
+	eager := fs.Bool("eager-commit", false, "use eager commit sweeps instead of lazy commits (§5.3)")
+	sanitize := fs.Bool("sanitize", false, "run under MOESI-San: assert coherence invariants after every memory operation")
+	trace := fs.Bool("trace", false, "stream a text event trace to stdout")
+	traceCats := fs.String("trace-cats", "all", "comma-separated trace categories (bus,cache,version,overflow,sla,txn,commit,queue,engine) or \"all\"")
+	traceOut := fs.String("trace-out", "", "write the event trace as Chrome trace_event JSON to this file")
+	statsText := fs.Bool("stats", false, "dump the statistics registry as an aligned table")
+	statsJSON := fs.String("stats-json", "", "write the run summary and statistics registry as JSON to this file")
+	list := fs.Bool("list", false, "list benchmarks and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(format string, a ...any) int {
+		fmt.Fprintf(stderr, "hmtxsim: "+format+"\n", a...)
+		return 1
+	}
 
 	if *list {
 		for _, s := range workloads.All() {
@@ -46,17 +98,17 @@ func main() {
 			if s.HasSMTX {
 				smtxNote = " (SMTX comparison available)"
 			}
-			fmt.Printf("%-12s %v%s\n", s.Name, s.Paradigm, smtxNote)
+			fmt.Fprintf(stdout, "%-12s %v%s\n", s.Name, s.Paradigm, smtxNote)
 		}
-		return
+		return 0
 	}
 	if *bench == "" {
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return 2
 	}
 	spec, err := workloads.ByName(*bench)
 	if err != nil {
-		log.Fatal(err)
+		return fail("%v", err)
 	}
 
 	kind := spec.Paradigm
@@ -71,7 +123,12 @@ func main() {
 	case "psdswp":
 		kind = paradigm.PSDSWP
 	default:
-		log.Fatalf("unknown paradigm %q", *par)
+		return fail("unknown paradigm %q", *par)
+	}
+	switch *system {
+	case "seq", "hmtx", "smtx-min", "smtx-max":
+	default:
+		return fail("unknown system %q", *system)
 	}
 
 	cfg := engine.DefaultConfig()
@@ -81,54 +138,146 @@ func main() {
 	cfg.Mem.EagerCommit = *eager
 	cfg.Mem.Sanitize = *sanitize
 
-	// Sequential reference for the speedup.
 	seqSys := engine.New(cfg)
+	sys := engine.New(cfg)
+
+	// Instrument the system that executes the measured run; the sequential
+	// reference run stays untraced unless it is the measured system.
+	target := sys
+	if *system == "seq" {
+		target = seqSys
+	}
+
+	var tracer *obs.Tracer
+	var txCol *obs.TxCollector
+	var traceFile *os.File
+	if *trace || *traceOut != "" {
+		mask, err := obs.ParseCategories(*traceCats)
+		if err != nil {
+			return fail("%v", err)
+		}
+		tracer = obs.NewTracer(mask, 0)
+		txCol = obs.NewTxCollector()
+		tracer.Attach(txCol)
+		if *traceOut != "" {
+			traceFile, err = os.Create(*traceOut)
+			if err != nil {
+				return fail("%v", err)
+			}
+			tracer.Attach(obs.NewChromeSink(traceFile))
+		}
+		if *trace {
+			tracer.Attach(obs.NewTextSink(stdout))
+		}
+		target.SetTracer(tracer)
+	}
+
+	var reg *obs.Registry
+	if *statsText || *statsJSON != "" {
+		reg = obs.NewRegistry()
+		target.Register(reg)
+		target.Mem.Register(reg, "memsys")
+	}
+
+	// Sequential reference for the speedup.
 	loop := spec.New(*scale)
 	loop.Setup(seqSys.Mem)
 	seqCycles := paradigm.RunSequential(seqSys, loop)
-
-	sys := engine.New(cfg)
-	loop = spec.New(*scale)
-	loop.Setup(sys.Mem)
 
 	var out hmtx.Outcome
 	switch *system {
 	case "seq":
 		out = hmtx.Outcome{Cycles: seqCycles, Iterations: loop.Iters(), Runs: 1}
 	case "hmtx":
+		loop = spec.New(*scale)
+		loop.Setup(sys.Mem)
 		out = hmtx.Run(sys, loop, kind, *cores)
 	case "smtx-min":
+		loop = spec.New(*scale)
+		loop.Setup(sys.Mem)
 		out = smtx.Run(sys, loop, kind, *cores, smtx.MinSet, smtx.DefaultConfig())
 	case "smtx-max":
+		loop = spec.New(*scale)
+		loop.Setup(sys.Mem)
 		out = smtx.Run(sys, loop, kind, *cores, smtx.MaxSet, smtx.DefaultConfig())
-	default:
-		log.Fatalf("unknown system %q", *system)
 	}
 
-	fmt.Printf("benchmark:        %s (%v, %d iterations)\n", spec.Name, kind, out.Iterations)
-	fmt.Printf("system:           %s on %d cores\n", *system, *cores)
-	fmt.Printf("cycles:           %d (sequential: %d)\n", out.Cycles, seqCycles)
-	fmt.Printf("hot-loop speedup: %.2fx\n", float64(seqCycles)/float64(out.Cycles))
-	fmt.Printf("aborts:           %d (recovery runs: %d)\n", out.Aborts, out.Runs)
+	if err := tracer.Close(); err != nil {
+		return fail("closing trace sinks: %v", err)
+	}
+	if traceFile != nil {
+		if err := traceFile.Close(); err != nil {
+			return fail("closing %s: %v", *traceOut, err)
+		}
+	}
+
+	fmt.Fprintf(stdout, "benchmark:        %s (%v, %d iterations)\n", spec.Name, kind, out.Iterations)
+	fmt.Fprintf(stdout, "system:           %s on %d cores\n", *system, *cores)
+	fmt.Fprintf(stdout, "cycles:           %d (sequential: %d)\n", out.Cycles, seqCycles)
+	fmt.Fprintf(stdout, "hot-loop speedup: %.2fx\n", float64(seqCycles)/float64(out.Cycles))
+	fmt.Fprintf(stdout, "aborts:           %d (recovery runs: %d)\n", out.Aborts, out.Runs)
 
 	if *system != "seq" {
 		es, ms := sys.Stats(), sys.Mem.Stats()
-		fmt.Printf("instructions:     %d (%d branches, %d mispredicted)\n",
+		fmt.Fprintf(stdout, "instructions:     %d (%d branches, %d mispredicted)\n",
 			es.Instructions, es.Branches, es.Mispredicts)
 		if es.Txs > 0 {
-			fmt.Printf("transactions:     %d committed, %.0f spec accesses/tx\n",
+			fmt.Fprintf(stdout, "transactions:     %d committed, %.0f spec accesses/tx\n",
 				es.Txs, float64(es.SpecAccesses)/float64(es.Txs))
-			fmt.Printf("read/write sets:  %.1f kB / %.1f kB per tx (max combined %.1f kB)\n",
+			fmt.Fprintf(stdout, "read/write sets:  %.1f kB / %.1f kB per tx (max combined %.1f kB)\n",
 				float64(es.ReadSetBytes/es.Txs)/1024,
 				float64(es.WriteSetBytes/es.Txs)/1024,
 				float64(es.MaxCombinedBytes)/1024)
 		}
-		fmt.Printf("memory system:    %d L1 hits, %d peer transfers, %d L2 hits, %d mem reads\n",
+		fmt.Fprintf(stdout, "memory system:    %d L1 hits, %d peer transfers, %d L2 hits, %d mem reads\n",
 			ms.L1Hits, ms.PeerTransfers, ms.L2Hits, ms.MemReads)
-		fmt.Printf("speculation:      %d spec loads, %d spec stores, %d versions created\n",
+		fmt.Fprintf(stdout, "speculation:      %d spec loads, %d spec stores, %d versions created\n",
 			ms.SpecLoads, ms.SpecStores, ms.VersionsCreated)
-		fmt.Printf("SLAs:             %d sent, %d false misspeculations avoided\n",
+		fmt.Fprintf(stdout, "SLAs:             %d sent, %d false misspeculations avoided\n",
 			ms.SLAsSent, ms.AvoidedAborts)
-		fmt.Printf("VID resets:       %d\n", ms.VIDResets)
+		fmt.Fprintf(stdout, "VID resets:       %d\n", ms.VIDResets)
 	}
+
+	if txCol != nil {
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, txCol.Summary().String())
+		fmt.Fprintf(stdout, "trace events:     %d recorded (categories: %v)\n", tracer.Count(), tracer.Mask())
+	}
+
+	if *statsText {
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, reg.Snapshot().Text())
+	}
+
+	if *statsJSON != "" {
+		tree, err := reg.Snapshot().Nested()
+		if err != nil {
+			return fail("%v", err)
+		}
+		doc := statsDoc{
+			Schema: "hmtx-run/v1",
+			Run: runDoc{
+				Bench:      spec.Name,
+				System:     *system,
+				Paradigm:   kind.String(),
+				Cores:      *cores,
+				Scale:      *scale,
+				Iterations: out.Iterations,
+				Cycles:     out.Cycles,
+				SeqCycles:  seqCycles,
+				Speedup:    float64(seqCycles) / float64(out.Cycles),
+				Aborts:     out.Aborts,
+				Runs:       out.Runs,
+			},
+			Stats: tree,
+		}
+		buf, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return fail("%v", err)
+		}
+		if err := os.WriteFile(*statsJSON, append(buf, '\n'), 0o644); err != nil {
+			return fail("%v", err)
+		}
+	}
+	return 0
 }

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunSystemsEndToEnd runs one small benchmark through each execution
+// system and checks the human output, the exit status and the -stats-json
+// document.
+func TestRunSystemsEndToEnd(t *testing.T) {
+	for _, system := range []string{"hmtx", "smtx-min", "seq"} {
+		t.Run(system, func(t *testing.T) {
+			sj := filepath.Join(t.TempDir(), "stats.json")
+			var out, errb bytes.Buffer
+			code := run([]string{"-bench", "052.alvinn", "-system", system, "-cores", "4", "-stats-json", sj}, &out, &errb)
+			if code != 0 {
+				t.Fatalf("exit %d, stderr: %s", code, errb.String())
+			}
+			for _, want := range []string{"benchmark:", "cycles:", "hot-loop speedup:"} {
+				if !strings.Contains(out.String(), want) {
+					t.Errorf("output missing %q:\n%s", want, out.String())
+				}
+			}
+
+			buf, err := os.ReadFile(sj)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var doc struct {
+				Schema string         `json:"schema"`
+				Run    map[string]any `json:"run"`
+				Stats  map[string]any `json:"stats"`
+			}
+			if err := json.Unmarshal(buf, &doc); err != nil {
+				t.Fatalf("invalid stats JSON: %v", err)
+			}
+			if doc.Schema != "hmtx-run/v1" {
+				t.Errorf("schema = %q", doc.Schema)
+			}
+			if doc.Run["system"] != system || doc.Run["bench"] != "052.alvinn" {
+				t.Errorf("run doc = %v", doc.Run)
+			}
+			if c, _ := doc.Run["cycles"].(float64); c <= 0 {
+				t.Errorf("cycles = %v", doc.Run["cycles"])
+			}
+			for _, key := range []string{"engine", "memsys"} {
+				sub, ok := doc.Stats[key].(map[string]any)
+				if !ok {
+					t.Fatalf("stats missing %q subtree", key)
+				}
+				if key == "memsys" {
+					if _, ok := sub["l1[0]"]; !ok {
+						t.Errorf("memsys stats missing per-cache entries: %v", sub)
+					}
+				}
+			}
+			if system == "hmtx" {
+				eng := doc.Stats["engine"].(map[string]any)
+				if txc, _ := eng["tx"].(map[string]any); txc["count"].(float64) == 0 {
+					t.Errorf("no committed transactions in stats: %v", eng)
+				}
+			}
+		})
+	}
+}
+
+// TestRunDeterministic checks the acceptance criterion of DESIGN.md §10:
+// both the stats JSON and the Chrome trace are byte-identical across two
+// runs of the same configuration, and the trace is valid JSON.
+func TestRunDeterministic(t *testing.T) {
+	do := func() (stdout, stats, trace []byte) {
+		dir := t.TempDir()
+		sj := filepath.Join(dir, "stats.json")
+		tj := filepath.Join(dir, "trace.json")
+		var out, errb bytes.Buffer
+		code := run([]string{"-bench", "052.alvinn", "-cores", "4",
+			"-stats-json", sj, "-trace-out", tj, "-trace-cats", "txn,commit,bus"}, &out, &errb)
+		if code != 0 {
+			t.Fatalf("exit %d, stderr: %s", code, errb.String())
+		}
+		stats, err := os.ReadFile(sj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trace, err = os.ReadFile(tj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.Bytes(), stats, trace
+	}
+	o1, s1, t1 := do()
+	o2, s2, t2 := do()
+	if !bytes.Equal(s1, s2) {
+		t.Error("stats JSON differs across identical runs")
+	}
+	if !bytes.Equal(t1, t2) {
+		t.Error("trace JSON differs across identical runs")
+	}
+	if !bytes.Equal(o1, o2) {
+		t.Error("stdout differs across identical runs")
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(t1, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace contains no events")
+	}
+	if !strings.Contains(string(o1), "per-transaction timeline") {
+		t.Errorf("tracing run missing timeline summary:\n%s", o1)
+	}
+}
+
+func TestRunBadInput(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-bench", "no-such-bench"}, &out, &errb); code != 1 {
+		t.Errorf("unknown bench: exit %d", code)
+	}
+	if code := run([]string{"-bench", "052.alvinn", "-system", "bogus"}, &out, &errb); code != 1 {
+		t.Errorf("unknown system: exit %d", code)
+	}
+	if code := run([]string{"-bench", "052.alvinn", "-trace", "-trace-cats", "bogus"}, &out, &errb); code != 1 {
+		t.Errorf("unknown category: exit %d", code)
+	}
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Errorf("missing bench: exit %d", code)
+	}
+}

@@ -1,0 +1,157 @@
+// Command hmtxtrace summarises a Chrome trace_event JSON file produced by
+// hmtxsim -trace-out: events per category, the hottest cache lines, the
+// abort-cause attribution, and transaction commit-latency statistics.
+//
+// Usage:
+//
+//	hmtxtrace [-top N] trace.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+
+	"hmtx/internal/obs"
+	"hmtx/internal/stats"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// traceEvent mirrors the fields obs.ChromeSink writes.
+type traceEvent struct {
+	Name string `json:"name"`
+	Cat  string `json:"cat"`
+	Ph   string `json:"ph"`
+	TS   int64  `json:"ts"`
+	Dur  int64  `json:"dur"`
+	Args struct {
+		Addr string `json:"addr"`
+		VID  uint64 `json:"vid"`
+		Arg  uint64 `json:"arg"`
+		Note string `json:"note"`
+	} `json:"args"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("hmtxtrace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	top := fs.Int("top", 10, "number of hottest lines to show")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: hmtxtrace [-top N] trace.json")
+		return 2
+	}
+	fail := func(format string, a ...any) int {
+		fmt.Fprintf(stderr, "hmtxtrace: "+format+"\n", a...)
+		return 1
+	}
+
+	buf, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return fail("%v", err)
+	}
+	var doc struct {
+		TraceEvents []traceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		return fail("parsing %s: %v", fs.Arg(0), err)
+	}
+	evs := doc.TraceEvents
+
+	// Events per category.
+	perCat := make(map[string]uint64)
+	for i := range evs {
+		perCat[evs[i].Cat]++
+	}
+	cats := make([]string, 0, len(perCat))
+	for c := range perCat {
+		cats = append(cats, c)
+	}
+	sort.Strings(cats)
+	var ct stats.Table
+	ct.Add("category", "events")
+	for _, c := range cats {
+		ct.AddF(c, perCat[c])
+	}
+	ct.AddF("total", len(evs))
+	fmt.Fprintf(stdout, "trace: %s (%d events)\n\n%s\n", fs.Arg(0), len(evs), ct.String())
+
+	// Hottest lines: events per line address, count desc, address asc.
+	type lineCount struct {
+		addr  uint64
+		count uint64
+	}
+	perLine := make(map[uint64]uint64)
+	for i := range evs {
+		if a := evs[i].Args.Addr; a != "" {
+			if addr, err := strconv.ParseUint(a, 0, 64); err == nil {
+				perLine[addr]++
+			}
+		}
+	}
+	lines := make([]lineCount, 0, len(perLine))
+	for a, n := range perLine {
+		lines = append(lines, lineCount{a, n})
+	}
+	sort.Slice(lines, func(i, j int) bool {
+		if lines[i].count != lines[j].count {
+			return lines[i].count > lines[j].count
+		}
+		return lines[i].addr < lines[j].addr
+	})
+	if len(lines) > 0 {
+		n := *top
+		if n > len(lines) {
+			n = len(lines)
+		}
+		var lt stats.Table
+		lt.Add("line", "events")
+		for _, l := range lines[:n] {
+			lt.AddF(fmt.Sprintf("%#x", l.addr), l.count)
+		}
+		fmt.Fprintf(stdout, "hottest lines (top %d of %d):\n\n%s\n", n, len(lines), lt.String())
+	}
+
+	// Abort attribution and commit-latency statistics.
+	aborts := make(map[string]uint64)
+	var nAborts uint64
+	var nCommits, durSum, durMax uint64
+	for i := range evs {
+		switch evs[i].Name {
+		case "tx_abort":
+			aborts[obs.AbortClass(evs[i].Args.Note)]++
+			nAborts++
+		case "tx_commit":
+			nCommits++
+			d := uint64(evs[i].Dur)
+			durSum += d
+			if d > durMax {
+				durMax = d
+			}
+		}
+	}
+	var tt stats.Table
+	tt.Add("transactions", "value")
+	tt.AddF("commits", nCommits)
+	if nCommits > 0 {
+		tt.AddF("mean commit latency (cycles)", fmt.Sprintf("%.1f", float64(durSum)/float64(nCommits)))
+		tt.AddF("max commit latency (cycles)", durMax)
+	}
+	tt.AddF("aborts", nAborts)
+	for _, class := range obs.AbortClasses() {
+		if n, ok := aborts[class]; ok {
+			tt.AddF("  aborts: "+class, n)
+		}
+	}
+	fmt.Fprint(stdout, tt.String())
+	return 0
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hmtx/internal/obs"
+)
+
+// writeTrace generates a Chrome trace via the real sink, so the summariser
+// is tested against exactly what hmtxsim -trace-out produces.
+func writeTrace(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "trace.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.NewTracer(obs.CatAll, 0)
+	tr.Attach(obs.NewChromeSink(f))
+	tr.SetTime(10)
+	tr.Emit(obs.Event{Kind: obs.KBusRequest, Core: 0, Addr: 0x1000, Note: "load"})
+	tr.Emit(obs.Event{Kind: obs.KBusRequest, Core: 1, Addr: 0x1000, Note: "store"})
+	tr.Emit(obs.Event{Kind: obs.KBusRequest, Core: 1, Addr: 0x2000, Note: "load"})
+	tr.SetTime(50)
+	tr.Emit(obs.Event{Kind: obs.KTxCommit, Core: 0, VID: 1, Arg: 40})
+	tr.SetTime(90)
+	tr.Emit(obs.Event{Kind: obs.KTxCommit, Core: 1, VID: 2, Arg: 60})
+	tr.SetTime(120)
+	tr.Emit(obs.Event{Kind: obs.KTxAbort, Core: 1, VID: 3, Note: "store vid 3 to line 0x1000 already accessed by vid 4"})
+	tr.Emit(obs.Event{Kind: obs.KTxAbort, Core: 0, VID: 3, Note: "speculative line overflowed the last-level cache (§5.4)"})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSummarise(t *testing.T) {
+	path := writeTrace(t)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-top", "2", path}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	s := out.String()
+	for _, want := range []string{
+		"7 events",
+		"bus", "txn",
+		"0x1000", // hottest line first
+		"commits",
+		"mean commit latency (cycles)  50.0",
+		"aborts: conflict",
+		"aborts: overflow",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q:\n%s", want, s)
+		}
+	}
+	// 0x1000 (2 events) must rank above 0x2000 (1 event).
+	if strings.Index(s, "0x1000") > strings.Index(s, "0x2000") {
+		t.Errorf("hottest-line order wrong:\n%s", s)
+	}
+}
+
+func TestBadInput(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Errorf("no args: exit %d", code)
+	}
+	if code := run([]string{"/nonexistent/trace.json"}, &out, &errb); code != 1 {
+		t.Errorf("missing file: exit %d", code)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{bad}, &out, &errb); code != 1 {
+		t.Errorf("bad JSON: exit %d", code)
+	}
+}

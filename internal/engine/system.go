@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"hmtx/internal/memsys"
+	"hmtx/internal/obs"
 	"hmtx/internal/vid"
 )
 
@@ -42,6 +43,16 @@ type Stats struct {
 	ReadSetBytes     uint64 // distinct lines read, in bytes
 	WriteSetBytes    uint64 // distinct lines written, in bytes
 	MaxCombinedBytes uint64 // largest single-transaction combined set
+
+	// Abort-cause breakdown (obs.AbortClass buckets) and in-order
+	// commit-wait accounting (§4.7), maintained whether or not tracing is
+	// enabled.
+	AbortsConflict    uint64
+	AbortsOverflow    uint64
+	AbortsSLA         uint64
+	AbortsExplicit    uint64
+	AbortsOther       uint64
+	CommitStallCycles uint64
 }
 
 type parkKind uint8
@@ -66,6 +77,7 @@ type core struct {
 
 	parked    parkKind
 	parkedReq request
+	parkedAt  int64 // core clock when it parked (commit-stall accounting)
 
 	// pendingReq is the core's next request, received eagerly by the
 	// scheduler as soon as the program goroutine issued it. A core whose
@@ -104,6 +116,11 @@ type txStats struct {
 	read, write  map[memsys.Addr]struct{}
 	specAccesses uint64
 	avoided      uint64
+
+	// begun/beginAt record the cycle of the first beginMTX of this
+	// sequence number, for begin-to-commit latency.
+	begun   bool
+	beginAt int64
 }
 
 // System is the simulated multicore machine.
@@ -125,6 +142,13 @@ type System struct {
 	rng   *rand.Rand
 	stats Stats
 	nLive int
+
+	tracer *obs.Tracer // nil when tracing is disabled (obs.go)
+
+	// Histograms registered by Register (obs.go); nil until then.
+	histCommitLat *obs.Histogram
+	histReadSet   *obs.Histogram
+	histWriteSet  *obs.Histogram
 }
 
 // New builds a system; the memory hierarchy is fresh and empty.
@@ -168,6 +192,10 @@ func (s *System) Run(programs []Program) RunResult {
 	s.aborting = false
 	s.abortCause = ""
 	s.busFreeAt = 0
+	if s.tracer.Enabled(obs.CatEngine) {
+		s.tracer.SetTime(0)
+		s.tracer.Emit(obs.Event{Kind: obs.KRunStart, Core: -1, Arg: uint64(len(programs))})
+	}
 	s.queues = make(map[int]*queue)
 	s.nLive = len(programs)
 	live := s.cores[:len(programs)]
@@ -220,6 +248,10 @@ func (s *System) Run(programs []Program) RunResult {
 		if c.finish > cycles {
 			cycles = c.finish
 		}
+	}
+	if s.tracer.Enabled(obs.CatEngine) {
+		s.tracer.SetTime(cycles)
+		s.tracer.Emit(obs.Event{Kind: obs.KRunEnd, Core: -1, Arg: uint64(cycles), Note: s.abortCause})
 	}
 	return RunResult{
 		Cycles:        cycles,
@@ -279,6 +311,9 @@ func (s *System) tx(q vid.Seq) *txStats {
 }
 
 func (s *System) handle(c *core, r request) {
+	// Stamp subsequent trace events (including the memory system's, which
+	// has no clock of its own) with the issuing core's time.
+	s.tracer.SetTime(c.time)
 	if r.kind == reqDone {
 		c.done = true
 		c.finish = c.time
@@ -351,6 +386,10 @@ func (s *System) handle(c *core, r request) {
 			return
 		}
 		s.doProduce(c, q, r.val)
+		if s.tracer.Enabled(obs.CatQueue) {
+			s.tracer.SetTime(c.time)
+			s.tracer.Emit(obs.Event{Kind: obs.KQueueProduce, Core: int32(c.id), Arg: uint64(r.q)})
+		}
 		c.resp <- response{}
 
 	case reqConsume:
@@ -358,6 +397,10 @@ func (s *System) handle(c *core, r request) {
 		switch {
 		case len(q.items) > 0:
 			val := s.doConsume(c, q)
+			if s.tracer.Enabled(obs.CatQueue) {
+				s.tracer.SetTime(c.time)
+				s.tracer.Emit(obs.Event{Kind: obs.KQueueConsume, Core: int32(c.id), Arg: uint64(r.q)})
+			}
 			c.resp <- response{val: val, ok: true}
 		case q.closed:
 			c.resp <- response{ok: false}
@@ -368,6 +411,10 @@ func (s *System) handle(c *core, r request) {
 	case reqClose:
 		s.queue(r.q).closed = true
 		c.time += s.cfg.QueueOpCost
+		if s.tracer.Enabled(obs.CatQueue) {
+			s.tracer.SetTime(c.time)
+			s.tracer.Emit(obs.Event{Kind: obs.KQueueClose, Core: int32(c.id), Arg: uint64(r.q)})
+		}
 		c.resp <- response{}
 
 	case reqAwait:
@@ -454,7 +501,14 @@ func (s *System) begin(c *core, r request) bool {
 	c.time++ // the beginMTX instruction itself
 	s.stats.Instructions++
 	if r.seq != 0 {
-		s.tx(r.seq)
+		t := s.tx(r.seq)
+		if !t.begun {
+			t.begun, t.beginAt = true, c.time
+		}
+		if s.tracer.Enabled(obs.CatTxn) {
+			s.tracer.SetTime(c.time)
+			s.tracer.Emit(obs.Event{Kind: obs.KTxBegin, Core: int32(c.id), VID: uint64(r.seq)})
+		}
 	}
 	return true
 }
@@ -480,6 +534,21 @@ func (s *System) doCommit(c *core, seq vid.Seq) {
 		s.stats.WriteSetBytes += wb
 		if rb+wb > s.stats.MaxCombinedBytes {
 			s.stats.MaxCombinedBytes = rb + wb
+		}
+		// Begin-to-commit latency; the begin may have run on another
+		// core whose clock is ahead, so clamp at zero.
+		var lat int64
+		if t.begun && c.time > t.beginAt {
+			lat = c.time - t.beginAt
+		}
+		if s.histCommitLat != nil {
+			s.histCommitLat.Observe(uint64(lat))
+			s.histReadSet.Observe(rb)
+			s.histWriteSet.Observe(wb)
+		}
+		if s.tracer.Enabled(obs.CatTxn) {
+			s.tracer.SetTime(c.time)
+			s.tracer.Emit(obs.Event{Kind: obs.KTxCommit, Core: int32(c.id), VID: uint64(seq), Arg: uint64(lat)})
 		}
 		delete(s.txs, seq)
 	}
@@ -539,6 +608,22 @@ func (s *System) triggerAbort(cause string, c *core) {
 	c.time += res.Lat
 	s.aborting = true
 	s.abortCause = cause
+	switch obs.AbortClass(cause) {
+	case "conflict":
+		s.stats.AbortsConflict++
+	case "overflow":
+		s.stats.AbortsOverflow++
+	case "sla-mismatch":
+		s.stats.AbortsSLA++
+	case "explicit":
+		s.stats.AbortsExplicit++
+	default:
+		s.stats.AbortsOther++
+	}
+	if s.tracer.Enabled(obs.CatTxn) {
+		s.tracer.SetTime(c.time)
+		s.tracer.Emit(obs.Event{Kind: obs.KTxAbort, Core: int32(c.id), VID: uint64(c.curSeq), Note: cause})
+	}
 	// Discard in-flight transaction footprints; they never committed.
 	s.txs = make(map[vid.Seq]*txStats)
 	c.resp <- response{abort: true}
@@ -571,6 +656,10 @@ func (s *System) retryParked(live []*core) {
 				if len(q.items) > 0 {
 					c.parked = parkNone
 					val := s.doConsume(c, q)
+					if s.tracer.Enabled(obs.CatQueue) {
+						s.tracer.SetTime(c.time)
+						s.tracer.Emit(obs.Event{Kind: obs.KQueueConsume, Core: int32(c.id), Arg: uint64(r.q)})
+					}
 					c.resp <- response{val: val, ok: true}
 					s.receive(c)
 					changed = true
@@ -588,6 +677,10 @@ func (s *System) retryParked(live []*core) {
 						c.time = q.lastPopTime
 					}
 					s.doProduce(c, q, r.val)
+					if s.tracer.Enabled(obs.CatQueue) {
+						s.tracer.SetTime(c.time)
+						s.tracer.Emit(obs.Event{Kind: obs.KQueueProduce, Core: int32(c.id), Arg: uint64(r.q)})
+					}
 					c.resp <- response{}
 					s.receive(c)
 					changed = true
@@ -597,6 +690,15 @@ func (s *System) retryParked(live []*core) {
 					c.parked = parkNone
 					if s.lastCommitTime > c.time {
 						c.time = s.lastCommitTime
+					}
+					stall := c.time - c.parkedAt
+					if stall < 0 {
+						stall = 0
+					}
+					s.stats.CommitStallCycles += uint64(stall)
+					if s.tracer.Enabled(obs.CatCommit) {
+						s.tracer.SetTime(c.time)
+						s.tracer.Emit(obs.Event{Kind: obs.KCommitResume, Core: int32(c.id), VID: uint64(r.seq), Arg: uint64(stall)})
 					}
 					s.doCommit(c, r.seq)
 					c.resp <- response{}
@@ -635,6 +737,11 @@ func (s *System) retryParked(live []*core) {
 func (s *System) park(c *core, k parkKind, r request) {
 	c.parked = k
 	c.parkedReq = r
+	c.parkedAt = c.time
+	if k == parkCommit && s.tracer.Enabled(obs.CatCommit) {
+		s.tracer.SetTime(c.time)
+		s.tracer.Emit(obs.Event{Kind: obs.KCommitStall, Core: int32(c.id), VID: uint64(r.seq)})
+	}
 }
 
 // sysTracker implements memsys.Tracker on System.

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"hmtx/internal/workloads"
+)
+
+func TestBuildDocDeterministic(t *testing.T) {
+	spec, err := workloads.ByName("052.alvinn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Scale: 1, Cores: 4}
+	emit := func() []byte {
+		r := RunBench(cfg, spec)
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf, BuildDoc(cfg, []BenchResult{r})); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := emit(), emit()
+	if !bytes.Equal(a, b) {
+		t.Fatal("BENCH JSON differs across identical runs")
+	}
+	var doc Doc
+	if err := json.Unmarshal(a, &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, a)
+	}
+	if doc.Schema != "hmtx-bench/v1" || len(doc.Benchmarks) != 1 {
+		t.Fatalf("doc = %+v", doc)
+	}
+	bj := doc.Benchmarks[0]
+	if bj.Name != "052.alvinn" || bj.HMTX.Cycles <= 0 || bj.HMTX.Speedup <= 1 {
+		t.Errorf("benchmark entry = %+v", bj)
+	}
+	if bj.SMTXMin == nil || bj.SMTXMin.Cycles <= 0 {
+		t.Errorf("smtx_min missing for an SMTX-capable benchmark: %+v", bj)
+	}
+	// Geomean goes through exp(log(x)), so allow float round-off.
+	if d := doc.GeomeanHMTX - bj.HMTX.Speedup; d > 1e-9 || d < -1e-9 {
+		t.Errorf("geomean of one benchmark = %v, want %v", doc.GeomeanHMTX, bj.HMTX.Speedup)
+	}
+}

@@ -15,6 +15,7 @@ type cache struct {
 	numSets int
 	ways    int
 	sets    [][]Line
+	hits    uint64 // requests this cache served (per-cache stats registry)
 }
 
 func newCache(name string, size, ways int, h *Hierarchy) *cache {

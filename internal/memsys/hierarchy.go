@@ -3,6 +3,7 @@ package memsys
 import (
 	"fmt"
 
+	"hmtx/internal/obs"
 	"hmtx/internal/vid"
 )
 
@@ -23,6 +24,11 @@ type Hierarchy struct {
 	lruClock uint64
 	stats    Stats
 	tracker  Tracker
+	tracer   *obs.Tracer // nil when tracing is disabled (obs.go)
+
+	// Latency histograms, registered by Register (obs.go); nil until then.
+	histLoadLat  *obs.Histogram
+	histStoreLat *obs.Histogram
 
 	// pendingOverflow records that a speculative line was evicted past
 	// the last-level cache during the current operation, forcing an
@@ -81,6 +87,9 @@ func (h *Hierarchy) Load(core int, addr Addr, a vid.V) (uint64, Result) {
 	h.sanBegin(addr)
 	val, res := h.load(core, addr, a, true)
 	h.sanCheck()
+	if h.histLoadLat != nil {
+		h.histLoadLat.Observe(uint64(res.Lat))
+	}
 	return val, res
 }
 
@@ -90,6 +99,9 @@ func (h *Hierarchy) Load(core int, addr Addr, a vid.V) (uint64, Result) {
 // misspeculations SLAs avoid (Table 1).
 func (h *Hierarchy) WrongPathLoad(core int, addr Addr, a vid.V) (uint64, Result) {
 	h.stats.WrongPathLoads++
+	if h.tracer.Enabled(obs.CatSLA) {
+		h.tracer.Emit(obs.Event{Kind: obs.KWrongPath, Core: int32(core), Addr: uint64(LineAddr(addr)), VID: uint64(a)})
+	}
 	h.sanBegin(addr)
 	// With SLAs disabled, prior systems mark lines directly from squashed
 	// loads (§7.2), risking false misspeculation.
@@ -114,6 +126,7 @@ func (h *Hierarchy) load(core int, addr Addr, a vid.V, mark bool) (uint64, Resul
 
 	if ln := l1.findHit(la, eff, false); ln != nil {
 		h.stats.L1Hits++
+		l1.hits++
 		l1.touch(ln)
 		val := ln.Word(addr)
 		if spec {
@@ -125,6 +138,9 @@ func (h *Hierarchy) load(core int, addr Addr, a vid.V, mark bool) (uint64, Resul
 
 	h.stats.BusMessages++
 	res.Lat += h.cfg.BusLat
+	if h.tracer.Enabled(obs.CatBus) {
+		h.tracer.Emit(obs.Event{Kind: obs.KBusRequest, Core: int32(core), Addr: uint64(la), VID: uint64(a), Note: "load"})
+	}
 
 	if owner, oc := h.snoop(core, la, eff); owner != nil {
 		if oc == h.l2 {
@@ -133,6 +149,7 @@ func (h *Hierarchy) load(core int, addr Addr, a vid.V, mark bool) (uint64, Resul
 		} else {
 			h.stats.PeerTransfers++
 		}
+		oc.hits++
 		val := owner.Word(addr)
 		h.remoteLoadMark(core, owner, oc, la, a, eff, mark, &res)
 		h.checkOverflow(&res)
@@ -189,6 +206,9 @@ func (h *Hierarchy) localLoadMark(core int, l1 *cache, ln *Line, la Addr, a vid.
 		if ln.St == Shared || ln.St == Owned {
 			h.stats.BusMessages++
 			res.Lat += h.cfg.BusLat
+			if h.tracer.Enabled(obs.CatBus) {
+				h.tracer.Emit(obs.Event{Kind: obs.KBusRequest, Core: int32(core), Addr: uint64(la), VID: uint64(a), Note: "upgrade"})
+			}
 			h.invalidateNonSpecCopies(la, ln)
 			if ln.St == Owned {
 				ln.St = Modified
@@ -278,6 +298,7 @@ func (h *Hierarchy) remoteLoadMark(core int, owner *Line, oc *cache, la Addr, a,
 // specReadTransition converts a writable non-speculative line into its
 // speculatively read counterpart: M -> S-M(0,a), E -> S-E(0,a) (Figure 4).
 func (h *Hierarchy) specReadTransition(ln *Line, a vid.V) {
+	old := ln.St
 	switch ln.St {
 	case Modified, Owned:
 		ln.St = SpecModified
@@ -290,6 +311,10 @@ func (h *Hierarchy) specReadTransition(ln *Line, a vid.V) {
 	ln.High = a
 	ln.Epoch = h.epoch
 	ln.SettledLC = h.lc
+	if h.tracer.Enabled(obs.CatCache) {
+		h.tracer.Emit(obs.Event{Kind: obs.KStateChange, Core: -1, Addr: uint64(ln.Tag), VID: uint64(a),
+			Note: old.String() + "->" + ln.St.String()})
+	}
 }
 
 // shadowMark records what a squashed wrong-path load would have marked.
@@ -316,6 +341,9 @@ func (h *Hierarchy) trackLoad(core int, la Addr, res *Result) {
 	if already := h.tracker.SpecTouch(core, la, false); !already {
 		res.NeedsSLA = true
 		h.stats.SLAsSent++
+		if h.tracer.Enabled(obs.CatSLA) {
+			h.tracer.Emit(obs.Event{Kind: obs.KSLASent, Core: int32(core), Addr: uint64(la)})
+		}
 	}
 }
 
@@ -344,6 +372,9 @@ func (h *Hierarchy) Store(core int, addr Addr, val uint64, a vid.V) Result {
 		if h.tracker != nil {
 			h.tracker.AvoidedAbort(core)
 		}
+		if h.tracer.Enabled(obs.CatSLA) {
+			h.tracer.Emit(obs.Event{Kind: obs.KSLAAvoided, Core: int32(core), Addr: uint64(la), VID: uint64(a)})
+		}
 		h.clearShadows(la)
 	}
 	if maxHigh > eff {
@@ -363,17 +394,23 @@ func (h *Hierarchy) Store(core int, addr Addr, val uint64, a vid.V) Result {
 	}
 	if hit != nil {
 		h.stats.L1Hits++
+		l1.hits++
 	} else {
 		h.stats.BusMessages++
 		res.Lat += h.cfg.BusLat
+		if h.tracer.Enabled(obs.CatBus) {
+			h.tracer.Emit(obs.Event{Kind: obs.KBusRequest, Core: int32(core), Addr: uint64(la), VID: uint64(a), Note: "store"})
+		}
 		hit, oc = h.snoop(core, la, eff)
 		switch {
 		case hit == nil:
 		case oc == h.l2:
 			res.Lat += h.cfg.L2Lat
 			h.stats.L2Hits++
+			oc.hits++
 		default:
 			h.stats.PeerTransfers++
+			oc.hits++
 		}
 	}
 
@@ -468,10 +505,16 @@ func (h *Hierarchy) Store(core int, addr Addr, val uint64, a vid.V) Result {
 		nl.SetWord(addr, val)
 		h.install(l1, nl)
 		h.stats.VersionsCreated++
+		if h.tracer.Enabled(obs.CatVersion) {
+			h.tracer.Emit(obs.Event{Kind: obs.KVersionCreate, Core: int32(core), Addr: uint64(la), VID: uint64(a)})
+		}
 	}
 
 	h.checkOverflow(&res)
 	h.sanCheck()
+	if h.histStoreLat != nil {
+		h.histStoreLat.Observe(uint64(res.Lat))
+	}
 	return res
 }
 
@@ -501,17 +544,20 @@ func (h *Hierarchy) Commit(v vid.V) Result {
 	h.stats.Commits++
 	h.stats.BusMessages++
 	lat := h.cfg.BusLat
+	frames := 0
 	if h.cfg.EagerCommit {
 		// Naive commit processing (§4.4, §7.1): every cache frame must
 		// be examined and transitioned on every commit, whether or not
 		// it holds speculative state — the cost Vachharajani's
 		// proposal pays and lazy commits avoid.
-		frames := 0
 		for _, c := range h.allCaches() {
 			frames += c.numSets * c.ways
 			c.forEach(func(*Line) {}) // settle everything now
 		}
 		lat += int64(frames / 8) // 8 frames examined per cycle
+	}
+	if h.tracer.Enabled(obs.CatCommit) {
+		h.tracer.Emit(obs.Event{Kind: obs.KCommit, Core: -1, VID: uint64(v), Arg: uint64(frames)})
 	}
 	return Result{Lat: lat}
 }
@@ -523,6 +569,9 @@ func (h *Hierarchy) Commit(v vid.V) Result {
 func (h *Hierarchy) AbortAll() Result {
 	h.stats.Aborts++
 	h.stats.BusMessages++
+	if h.tracer.Enabled(obs.CatCommit) {
+		h.tracer.Emit(obs.Event{Kind: obs.KAbortSweep, Core: -1, VID: uint64(h.lc)})
+	}
 	for _, c := range h.allCaches() {
 		c.forEach(func(ln *Line) {
 			ln.applyAbort()
@@ -550,6 +599,9 @@ func (h *Hierarchy) VIDReset() Result {
 	h.lc = 0
 	h.stats.VIDResets++
 	h.stats.BusMessages++
+	if h.tracer.Enabled(obs.CatTxn) {
+		h.tracer.Emit(obs.Event{Kind: obs.KVIDReset, Core: -1, Arg: h.epoch})
+	}
 	return Result{Lat: h.cfg.BusLat}
 }
 
@@ -762,9 +814,15 @@ func (h *Hierarchy) placeVictim(v Line, from *cache) {
 		h.mem.write(v.Tag, v.Data)
 		h.stats.MemWrites++
 		h.stats.SOWritebacks++
+		if h.tracer.Enabled(obs.CatVersion) {
+			h.tracer.Emit(obs.Event{Kind: obs.KSOWriteback, Core: -1, Addr: uint64(v.Tag), VID: uint64(v.High)})
+		}
 	default:
 		h.stats.OverflowAborts++
 		h.pendingOverflow = true
+		if h.tracer.Enabled(obs.CatOverflow) {
+			h.tracer.Emit(obs.Event{Kind: obs.KOverflowAbort, Core: -1, Addr: uint64(v.Tag), VID: uint64(v.Mod)})
+		}
 		// The dropped line tears the version chain until the forced
 		// abort repairs it: suppress invariant checks in between.
 		h.san.muted = true

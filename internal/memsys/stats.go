@@ -1,5 +1,7 @@
 package memsys
 
+import "reflect"
+
 // Stats aggregates memory-system event counts for one simulation.
 type Stats struct {
 	// Hit/miss accounting.
@@ -28,6 +30,22 @@ type Stats struct {
 	Commits   uint64
 	Aborts    uint64
 	VIDResets uint64 // §4.6
+}
+
+// Add accumulates other into s field by field, so multi-run aggregation
+// (experiments, sharded runs) does not open-code the sums. Every Stats field
+// must be a uint64; Add checks this at run time via reflection so a future
+// field of another type fails loudly instead of being silently skipped.
+func (s *Stats) Add(other *Stats) {
+	sv := reflect.ValueOf(s).Elem()
+	ov := reflect.ValueOf(other).Elem()
+	for i := 0; i < sv.NumField(); i++ {
+		f := sv.Field(i)
+		if f.Kind() != reflect.Uint64 {
+			panic("memsys: Stats." + sv.Type().Field(i).Name + " is not a uint64; update Stats.Add")
+		}
+		f.SetUint(f.Uint() + ov.Field(i).Uint())
+	}
 }
 
 // Tracker receives callbacks about per-transaction speculative activity. The

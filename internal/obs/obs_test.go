@@ -1,0 +1,299 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestParseCategories(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Category
+		err  bool
+	}{
+		{"", CatAll, false},
+		{"all", CatAll, false},
+		{"bus", CatBus, false},
+		{"bus,txn", CatBus | CatTxn, false},
+		{" sla , queue ", CatSLA | CatQueue, false},
+		{"nope", 0, true},
+	}
+	for _, c := range cases {
+		got, err := ParseCategories(c.in)
+		if (err != nil) != c.err {
+			t.Errorf("ParseCategories(%q): err = %v, want err=%v", c.in, err, c.err)
+		}
+		if err == nil && got != c.want {
+			t.Errorf("ParseCategories(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestKindCategoryTotal(t *testing.T) {
+	for k := KBusRequest; k < kindLimit; k++ {
+		if k.Category() == 0 {
+			t.Errorf("kind %v has no category", k)
+		}
+		if k.String() == "" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+}
+
+func TestNilTracerIsDisabled(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled(CatAll) {
+		t.Fatal("nil tracer reports enabled")
+	}
+	tr.SetTime(5)    // must not panic
+	tr.Emit(Event{}) // must not panic
+	if tr.Count() != 0 || tr.Events() != nil {
+		t.Fatal("nil tracer recorded events")
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTracerRingAndFilter(t *testing.T) {
+	tr := NewTracer(CatBus, 4)
+	tr.SetTime(10)
+	tr.Emit(Event{Kind: KBusRequest, Core: 0})
+	tr.Emit(Event{Kind: KTxBegin, Core: 0, VID: 1}) // filtered out
+	if tr.Count() != 1 {
+		t.Fatalf("Count = %d, want 1 (txn category is disabled)", tr.Count())
+	}
+	for i := 2; i <= 6; i++ {
+		tr.SetTime(int64(10 * i))
+		tr.Emit(Event{Kind: KBusRequest, Core: int32(i)})
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring kept %d events, want 4", len(evs))
+	}
+	if evs[0].Core != 3 || evs[3].Core != 6 {
+		t.Fatalf("ring order wrong: %+v", evs)
+	}
+	if evs[3].Cycle != 60 {
+		t.Fatalf("SetTime not stamped: %+v", evs[3])
+	}
+}
+
+func TestTextSinkFormat(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(CatAll, 0)
+	tr.Attach(NewTextSink(&buf))
+	tr.SetTime(1234)
+	tr.Emit(Event{Kind: KTxBegin, Core: 1, VID: 3})
+	tr.Emit(Event{Kind: KStateChange, Core: -1, Addr: 0x1a40, Note: "E->S-M"})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"1234: txn", "tx_begin core1 vid=3", "cache", `line=0x1a40`, `"E->S-M"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text log missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestChromeSinkValidDeterministicJSON(t *testing.T) {
+	emitAll := func() []byte {
+		var buf bytes.Buffer
+		tr := NewTracer(CatAll, 0)
+		tr.Attach(NewChromeSink(&buf))
+		tr.SetTime(100)
+		tr.Emit(Event{Kind: KTxBegin, Core: 0, VID: 1})
+		tr.SetTime(150)
+		tr.Emit(Event{Kind: KBusRequest, Core: 0, Addr: 0x40, Note: "load"})
+		tr.SetTime(300)
+		tr.Emit(Event{Kind: KSpanBegin, Core: 1, Note: "smtx.validate", VID: 1})
+		tr.SetTime(400)
+		tr.Emit(Event{Kind: KSpanEnd, Core: 1, Note: "smtx.validate", VID: 1})
+		tr.SetTime(500)
+		tr.Emit(Event{Kind: KTxCommit, Core: 0, VID: 1, Arg: 400})
+		if err := tr.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := emitAll(), emitAll()
+	if !bytes.Equal(a, b) {
+		t.Fatal("chrome trace differs across identical runs")
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(a, &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, a)
+	}
+	if len(doc.TraceEvents) != 5 {
+		t.Fatalf("got %d events, want 5", len(doc.TraceEvents))
+	}
+	last := doc.TraceEvents[4]
+	if last["ph"] != "X" || last["dur"] != float64(400) || last["ts"] != float64(100) {
+		t.Fatalf("tx_commit not rendered as a complete event: %v", last)
+	}
+}
+
+func TestRegistrySnapshotTextAndJSON(t *testing.T) {
+	r := NewRegistry()
+	g := r.Group("memsys").Group("l1[0]")
+	c := g.Counter("hits", "L1 hits")
+	c.Add(41)
+	c.Inc()
+	var misses uint64 = 7
+	g.CounterFunc("misses", "L1 misses", func() uint64 { return misses })
+	r.Scalar("memsys.l1[0].hit_rate", "hit rate", func() float64 { return 42.0 / 49.0 })
+	r.Scalar("bad", "division by zero", func() float64 { return 0.0 / zero() })
+	h := r.Histogram("engine.lat", "latency", []uint64{4, 16, 64})
+	for _, v := range []uint64{2, 4, 5, 100} {
+		h.Observe(v)
+	}
+
+	snap := r.Snapshot()
+	if len(snap.Entries) != 5 {
+		t.Fatalf("got %d entries, want 5", len(snap.Entries))
+	}
+	for i := 1; i < len(snap.Entries); i++ {
+		if snap.Entries[i-1].Name >= snap.Entries[i].Name {
+			t.Fatalf("snapshot not sorted: %q >= %q", snap.Entries[i-1].Name, snap.Entries[i].Name)
+		}
+	}
+
+	text := snap.Text()
+	for _, want := range []string{"memsys.l1[0].hits", "42", "engine.lat[<=4]", "engine.lat[<=+Inf]"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text dump missing %q:\n%s", want, text)
+		}
+	}
+
+	buf, err := snap.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf2, err := r.Snapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, buf2) {
+		t.Fatal("registry JSON differs across identical snapshots")
+	}
+	var tree map[string]any
+	if err := json.Unmarshal(buf, &tree); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf)
+	}
+	memsys := tree["memsys"].(map[string]any)
+	l1 := memsys["l1[0]"].(map[string]any)
+	if l1["hits"] != float64(42) || l1["misses"] != float64(7) {
+		t.Fatalf("nested counters wrong: %v", l1)
+	}
+	if tree["bad"] != float64(0) {
+		t.Fatalf("non-finite scalar not sanitised: %v", tree["bad"])
+	}
+	lat := tree["engine"].(map[string]any)["lat"].(map[string]any)
+	if lat["total"] != float64(4) || lat["sum"] != float64(111) {
+		t.Fatalf("histogram snapshot wrong: %v", lat)
+	}
+}
+
+// zero defeats constant folding so the NaN is produced at run time.
+func zero() float64 { return 0 }
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("x", "")
+	r.Counter("x", "")
+}
+
+func TestNestedConflict(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a.b", "")
+	r.Counter("a.b.c", "")
+	if _, err := r.Snapshot().Nested(); err == nil {
+		t.Fatal("leaf/subtree conflict not reported")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", []uint64{10, 20})
+	h.Observe(10) // inclusive upper bound
+	h.Observe(11)
+	h.Observe(21)
+	snap := r.Snapshot().Entries[0].Hist
+	want := []uint64{1, 1, 1}
+	for i, c := range snap.Counts {
+		if c != want[i] {
+			t.Fatalf("counts = %v, want %v", snap.Counts, want)
+		}
+	}
+	if h.Mean() != 14 {
+		t.Fatalf("mean = %v, want 14", h.Mean())
+	}
+}
+
+func TestAbortClass(t *testing.T) {
+	cases := map[string]string{
+		"store vid 3 to line 0x40 already accessed by vid 5":      "conflict",
+		"speculative line overflowed the last-level cache (§5.4)": "overflow",
+		"SLA mismatch at 0x80 vid 2: loaded 0x1, now 0x2":         "sla-mismatch",
+		"explicit abortMTX by core 1 (seq 7)":                     "explicit",
+		"???":                                                     "other",
+	}
+	for cause, want := range cases {
+		if got := AbortClass(cause); got != want {
+			t.Errorf("AbortClass(%q) = %q, want %q", cause, got, want)
+		}
+	}
+}
+
+func TestTxCollector(t *testing.T) {
+	tr := NewTracer(CatAll, 0)
+	col := NewTxCollector()
+	tr.Attach(col)
+
+	tr.SetTime(100)
+	tr.Emit(Event{Kind: KTxBegin, Core: 0, VID: 1})
+	tr.SetTime(110)
+	tr.Emit(Event{Kind: KTxBegin, Core: 1, VID: 2})
+	tr.SetTime(200)
+	tr.Emit(Event{Kind: KTxCommit, Core: 0, VID: 1, Arg: 100})
+	tr.SetTime(250)
+	tr.Emit(Event{Kind: KCommitResume, Core: 1, VID: 2, Arg: 40})
+	tr.SetTime(260)
+	tr.Emit(Event{Kind: KTxCommit, Core: 1, VID: 2, Arg: 150})
+	tr.SetTime(300)
+	tr.Emit(Event{Kind: KTxBegin, Core: 0, VID: 3})
+	tr.SetTime(320)
+	tr.Emit(Event{Kind: KTxAbort, Core: 0, VID: 3, Note: "store vid 3 to line 0x40 already accessed by vid 5"})
+
+	s := col.Summary()
+	if s.Committed != 2 || s.Aborts != 1 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.AbortsByClass["conflict"] != 1 {
+		t.Fatalf("abort attribution = %v", s.AbortsByClass)
+	}
+	if s.MaxLatency != 150 || s.MeanLatency != 125 {
+		t.Fatalf("latencies = %+v", s)
+	}
+	if s.TotalStall != 40 {
+		t.Fatalf("stall = %+v", s)
+	}
+	got := col.Committed()
+	if len(got) != 2 || got[1].StallCycles != 40 || got[1].CommitCycle != 260 {
+		t.Fatalf("timelines = %+v", got)
+	}
+	out := s.String()
+	if !strings.Contains(out, "aborts: conflict") {
+		t.Errorf("summary table missing abort breakdown:\n%s", out)
+	}
+}

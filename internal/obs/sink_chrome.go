@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ChromeSink writes the trace in the Chrome trace_event JSON format, viewable
+// in chrome://tracing, Perfetto, or speedscope. Simulated cycles map directly
+// to the viewer's microsecond timestamps.
+//
+// Mapping:
+//   - KTxCommit becomes a complete ("X") event spanning the transaction's
+//     commit latency on the committing core's track, so transactions render
+//     as bars;
+//   - KSpanBegin/KSpanEnd become duration ("B"/"E") events;
+//   - everything else becomes a thread-scoped instant ("i") event.
+//
+// The document is streamed: each event is one JSON object appended to the
+// traceEvents array, and Close writes the footer. Field order is fixed by
+// the structs below, so the output is byte-identical across runs of the same
+// simulation.
+type ChromeSink struct {
+	bw    *bufio.Writer
+	first bool
+	err   error
+}
+
+// NewChromeSink builds a Chrome trace_event sink writing to w.
+func NewChromeSink(w io.Writer) *ChromeSink {
+	s := &ChromeSink{bw: bufio.NewWriter(w), first: true}
+	s.writeString("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n")
+	return s
+}
+
+// chromeEvent is one trace_event record; field order is the output order.
+type chromeEvent struct {
+	Name  string     `json:"name"`
+	Cat   string     `json:"cat"`
+	Ph    string     `json:"ph"`
+	TS    int64      `json:"ts"`
+	Dur   *int64     `json:"dur,omitempty"`
+	PID   int        `json:"pid"`
+	TID   int32      `json:"tid"`
+	Scope string     `json:"s,omitempty"`
+	Args  chromeArgs `json:"args"`
+}
+
+type chromeArgs struct {
+	Addr string `json:"addr,omitempty"`
+	VID  uint64 `json:"vid,omitempty"`
+	Arg  uint64 `json:"arg,omitempty"`
+	Note string `json:"note,omitempty"`
+}
+
+// Emit appends one event.
+func (s *ChromeSink) Emit(e Event) {
+	ce := chromeEvent{
+		Name: e.Kind.String(),
+		Cat:  e.Kind.Category().String(),
+		TS:   e.Cycle,
+		TID:  e.Core,
+		Args: chromeArgs{VID: e.VID, Arg: e.Arg, Note: e.Note},
+	}
+	if e.Addr != 0 {
+		ce.Args.Addr = fmt.Sprintf("%#x", e.Addr)
+	}
+	if e.Core < 0 {
+		ce.TID = 0
+	}
+	switch e.Kind {
+	case KTxCommit:
+		// Render the transaction as a bar spanning its commit latency.
+		ce.Ph = "X"
+		dur := int64(e.Arg)
+		if dur < 1 {
+			dur = 1
+		}
+		ce.TS = e.Cycle - dur
+		ce.Dur = &dur
+	case KSpanBegin:
+		ce.Ph = "B"
+		if e.Note != "" {
+			ce.Name = e.Note
+		}
+	case KSpanEnd:
+		ce.Ph = "E"
+		if e.Note != "" {
+			ce.Name = e.Note
+		}
+	default:
+		ce.Ph = "i"
+		ce.Scope = "t"
+	}
+	buf, err := json.Marshal(ce)
+	if err != nil {
+		if s.err == nil {
+			s.err = err
+		}
+		return
+	}
+	if !s.first {
+		s.writeString(",\n")
+	}
+	s.first = false
+	s.write(buf)
+}
+
+// Close writes the footer and flushes.
+func (s *ChromeSink) Close() error {
+	s.writeString("\n]}\n")
+	if err := s.bw.Flush(); err != nil && s.err == nil {
+		s.err = err
+	}
+	return s.err
+}
+
+func (s *ChromeSink) write(b []byte) {
+	if _, err := s.bw.Write(b); err != nil && s.err == nil {
+		s.err = err
+	}
+}
+
+func (s *ChromeSink) writeString(str string) {
+	if _, err := s.bw.WriteString(str); err != nil && s.err == nil {
+		s.err = err
+	}
+}

@@ -1,0 +1,30 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// TextSink writes a gem5-style line-oriented debug log:
+//
+//	12345: txn    : tx_begin core1 vid=3
+//
+// One line per event: cycle, category, payload. Output is buffered; call
+// Close (or Tracer.Close) to flush.
+type TextSink struct {
+	bw *bufio.Writer
+}
+
+// NewTextSink builds a text sink writing to w.
+func NewTextSink(w io.Writer) *TextSink {
+	return &TextSink{bw: bufio.NewWriter(w)}
+}
+
+// Emit writes one log line.
+func (s *TextSink) Emit(e Event) {
+	fmt.Fprintf(s.bw, "%10d: %-8s: %s\n", e.Cycle, e.Kind.Category(), e.Describe())
+}
+
+// Close flushes buffered output.
+func (s *TextSink) Close() error { return s.bw.Flush() }

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"fmt"
+
+	"hmtx/internal/stats"
+)
+
+// TxTimeline is the derived per-transaction record: when the transaction
+// began, when it committed, how long it waited for its in-order commit turn,
+// and the total begin-to-commit latency.
+type TxTimeline struct {
+	VID         uint64
+	BeginCore   int32
+	BeginCycle  int64
+	CommitCore  int32
+	CommitCycle int64
+	// Latency is the begin-to-commit latency in cycles (the engine's
+	// KTxCommit Arg, measured from the first beginMTX of the VID).
+	Latency int64
+	// StallCycles is the time spent parked waiting for the preceding
+	// transaction to commit (in-order group commit, §4.7).
+	StallCycles int64
+}
+
+// TxCollector is a trace sink that derives per-transaction timelines and an
+// abort attribution from the event stream. Attach it to a Tracer whose mask
+// includes CatTxn and CatCommit.
+type TxCollector struct {
+	open      map[uint64]*TxTimeline
+	committed []TxTimeline
+	aborts    map[string]uint64 // AbortClass -> count
+	abortN    uint64
+}
+
+// NewTxCollector returns an empty collector.
+func NewTxCollector() *TxCollector {
+	return &TxCollector{open: make(map[uint64]*TxTimeline), aborts: make(map[string]uint64)}
+}
+
+// Emit consumes one event.
+func (c *TxCollector) Emit(e Event) {
+	switch e.Kind {
+	case KTxBegin:
+		// A re-begin of the same VID after an abort restarts the record.
+		if t, ok := c.open[e.VID]; !ok || t.BeginCycle > e.Cycle {
+			c.open[e.VID] = &TxTimeline{VID: e.VID, BeginCore: e.Core, BeginCycle: e.Cycle}
+		}
+	case KCommitResume:
+		if t, ok := c.open[e.VID]; ok {
+			t.StallCycles += int64(e.Arg)
+		}
+	case KTxCommit:
+		t, ok := c.open[e.VID]
+		if !ok {
+			t = &TxTimeline{VID: e.VID}
+		}
+		t.CommitCore = e.Core
+		t.CommitCycle = e.Cycle
+		t.Latency = int64(e.Arg)
+		c.committed = append(c.committed, *t)
+		delete(c.open, e.VID)
+	case KTxAbort:
+		c.aborts[AbortClass(e.Note)]++
+		c.abortN++
+		// Uncommitted transactions roll back; drop their open records.
+		c.open = make(map[uint64]*TxTimeline)
+	}
+}
+
+// Close implements Sink; the collector has nothing to flush.
+func (c *TxCollector) Close() error { return nil }
+
+// Committed returns the committed-transaction timelines in commit order.
+func (c *TxCollector) Committed() []TxTimeline { return c.committed }
+
+// TxSummary aggregates the collector's timelines.
+type TxSummary struct {
+	Committed     uint64
+	Aborts        uint64
+	AbortsByClass map[string]uint64
+	// MeanLatency and MaxLatency are begin-to-commit latencies in cycles.
+	MeanLatency float64
+	MaxLatency  int64
+	// TotalStall and MeanStall are in-order commit-wait cycles.
+	TotalStall int64
+	MeanStall  float64
+}
+
+// Summary aggregates every committed transaction and abort seen so far.
+func (c *TxCollector) Summary() TxSummary {
+	s := TxSummary{
+		Committed:     uint64(len(c.committed)),
+		Aborts:        c.abortN,
+		AbortsByClass: make(map[string]uint64),
+	}
+	for _, class := range AbortClasses() {
+		if n := c.aborts[class]; n > 0 {
+			s.AbortsByClass[class] = n
+		}
+	}
+	var latSum, stallSum int64
+	for i := range c.committed {
+		t := &c.committed[i]
+		latSum += t.Latency
+		stallSum += t.StallCycles
+		if t.Latency > s.MaxLatency {
+			s.MaxLatency = t.Latency
+		}
+	}
+	s.TotalStall = stallSum
+	if n := len(c.committed); n > 0 {
+		s.MeanLatency = float64(latSum) / float64(n)
+		s.MeanStall = float64(stallSum) / float64(n)
+	}
+	return s
+}
+
+// String renders the summary as an aligned table: counts, latency
+// statistics, stall cycles, and the abort-cause breakdown.
+func (s TxSummary) String() string {
+	var t stats.Table
+	t.Add("per-transaction timeline", "value")
+	t.AddF("transactions committed", s.Committed)
+	t.AddF("mean commit latency (cycles)", fmt.Sprintf("%.1f", s.MeanLatency))
+	t.AddF("max commit latency (cycles)", s.MaxLatency)
+	t.AddF("commit-stall cycles (total)", s.TotalStall)
+	t.AddF("commit-stall cycles (mean/tx)", fmt.Sprintf("%.1f", s.MeanStall))
+	t.AddF("aborts", s.Aborts)
+	for _, class := range AbortClasses() {
+		if n, ok := s.AbortsByClass[class]; ok {
+			t.AddF("  aborts: "+class, n)
+		}
+	}
+	return t.String()
+}

@@ -29,6 +29,7 @@ import (
 
 	"hmtx/internal/engine"
 	"hmtx/internal/hmtx"
+	"hmtx/internal/obs"
 	"hmtx/internal/paradigm"
 	"hmtx/internal/vid"
 )
@@ -298,9 +299,13 @@ func (d *smtxDriver) commitProg(kind paradigm.Kind) engine.Program {
 				if !ok || p.msgs < msgsNeeded {
 					break
 				}
-				// Validate and apply every record serially.
+				// Validate and apply every record serially. The span
+				// brackets the commit process's serial validation so
+				// traces show the §2.3 bottleneck directly.
+				e.Emit(obs.Event{Kind: obs.KSpanBegin, VID: uint64(expected), Arg: p.records, Note: "smtx.validate"})
 				e.Compute(d.cfg.ValidateCost * int64(p.records))
 				e.Commit(expected)
+				e.Emit(obs.Event{Kind: obs.KSpanEnd, VID: uint64(expected), Arg: p.records, Note: "smtx.validate"})
 				delete(pending, expected)
 				expected++
 			}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"unicode/utf8"
 )
 
 // Geomean returns the geometric mean of xs (1 if empty).
@@ -62,14 +63,17 @@ func (t *Table) String() string {
 	if len(t.rows) == 0 {
 		return ""
 	}
+	// Column widths count runes, not bytes: cells like "§5.4" or "→" are
+	// multi-byte but single-column, and byte-width padding would misalign
+	// every column to their right.
 	widths := make([]int, 0)
 	for _, r := range t.rows {
 		for i, c := range r {
 			if i >= len(widths) {
 				widths = append(widths, 0)
 			}
-			if len(c) > widths[i] {
-				widths[i] = len(c)
+			if n := utf8.RuneCountInString(c); n > widths[i] {
+				widths[i] = n
 			}
 		}
 	}
@@ -79,7 +83,11 @@ func (t *Table) String() string {
 			if i > 0 {
 				b.WriteString("  ")
 			}
-			fmt.Fprintf(&b, "%-*s", widths[i], c)
+			// fmt's %-*s pads by byte length, so pad explicitly by runes.
+			b.WriteString(c)
+			if pad := widths[i] - utf8.RuneCountInString(c); pad > 0 {
+				b.WriteString(strings.Repeat(" ", pad))
+			}
 		}
 		b.WriteString("\n")
 	}

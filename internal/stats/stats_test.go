@@ -68,6 +68,33 @@ func TestTableAlignment(t *testing.T) {
 	}
 }
 
+func TestTableRuneWidths(t *testing.T) {
+	// "§5.4 aborts" is 11 runes but 12 bytes; byte-based widths would pad
+	// the ASCII rows one column too wide and misalign the value column.
+	var tb Table
+	tb.Add("cause", "count")
+	tb.Add("§5.4 aborts", "3")
+	tb.Add("conflicts →", "7")
+	tb.Add("plain", "9")
+	lines := strings.Split(strings.TrimSpace(tb.String()), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("table has %d lines, want 5:\n%s", len(lines), tb.String())
+	}
+	// The widest first cell is 11 runes, so the value column must start at
+	// rune 13 (11 + the 2-space gap) on every row, however many bytes the
+	// first cell took.
+	const valueCol = 13
+	for i, l := range lines {
+		if i == 1 {
+			continue // header rule
+		}
+		runes := []rune(l)
+		if len(runes) <= valueCol || runes[valueCol] == ' ' || runes[valueCol-1] != ' ' {
+			t.Fatalf("line %d: value column not at rune %d:\n%s", i, valueCol, tb.String())
+		}
+	}
+}
+
 func TestEmptyTable(t *testing.T) {
 	var tb Table
 	if tb.String() != "" {

@@ -1,0 +1,22 @@
+// Package obs is a minimal stand-in for hmtx/internal/obs: the analyzer
+// matches the Tracer type by name and package-path suffix, so the fixture
+// only needs the methods the gate cares about.
+package obs
+
+type Category uint64
+
+const (
+	CatBus Category = 1 << iota
+	CatTxn
+)
+
+type Event struct {
+	Cycle int64
+	Addr  uint64
+}
+
+type Tracer struct{ mask Category }
+
+func (t *Tracer) Enabled(c Category) bool { return t != nil && t.mask&c != 0 }
+func (t *Tracer) Emit(e Event)            {}
+func (t *Tracer) SetTime(now int64)       {}

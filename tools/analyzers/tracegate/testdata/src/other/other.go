@@ -1,0 +1,9 @@
+// Package other is outside internal/memsys and internal/engine, so the gate
+// does not apply: unguarded emits are fine off the simulated fast path.
+package other
+
+import "hmtx/internal/obs"
+
+func Dump(t *obs.Tracer) {
+	t.Emit(obs.Event{Addr: 1})
+}

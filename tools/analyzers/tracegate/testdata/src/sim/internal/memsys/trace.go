@@ -1,0 +1,46 @@
+package memsys
+
+import "hmtx/internal/obs"
+
+type hier struct {
+	tracer *obs.Tracer
+}
+
+// Guarded emits are the contract: no diagnostics.
+func (h *hier) guarded(addr uint64) {
+	if h.tracer.Enabled(obs.CatBus) {
+		h.tracer.Emit(obs.Event{Addr: addr})
+	}
+	if h.tracer.Enabled(obs.CatBus) && addr != 0 {
+		// Nested inside the guard body still counts.
+		if addr > 16 {
+			h.tracer.Emit(obs.Event{Addr: addr})
+		}
+		h.tracer.Emit(obs.Event{Addr: addr + 1})
+	}
+	tr := h.tracer
+	if tr.Enabled(obs.CatTxn) {
+		tr.SetTime(1)
+		tr.Emit(obs.Event{})
+	}
+}
+
+func (h *hier) unguarded(addr uint64) {
+	h.tracer.Emit(obs.Event{Addr: addr}) // want `Emit outside an Enabled\(\) guard`
+	if addr != 0 {
+		// An if statement that never consults Enabled is not a guard.
+		h.tracer.Emit(obs.Event{Addr: addr}) // want `Emit outside an Enabled\(\) guard`
+	}
+	if h.tracer.Enabled(obs.CatBus) {
+		_ = addr
+	}
+	// After a guard body ends the gate is closed again.
+	h.tracer.Emit(obs.Event{Addr: addr}) // want `Emit outside an Enabled\(\) guard`
+}
+
+// Methods named Emit on other types are not tracer emits.
+type logger struct{}
+
+func (logger) Emit(e obs.Event) {}
+
+func use(l logger) { l.Emit(obs.Event{}) }

@@ -1,0 +1,112 @@
+// Package tracegate keeps event tracing off the simulator's fast path.
+//
+// The observability contract (DESIGN.md §10) is that a run with tracing
+// disabled pays only one nil-check per potential event: every call to
+// (*obs.Tracer).Emit inside internal/memsys and internal/engine must sit in
+// the body of an if statement whose condition calls Enabled on a tracer, so
+// the Event struct is never even built when no category is selected. The
+// analyzer reports any Emit call in those packages that is not enclosed by
+// such a guard.
+//
+// Test files are exempt: tests construct events deliberately and are not on
+// the simulated fast path.
+package tracegate
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"hmtx/tools/analyzers/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "tracegate",
+	Doc:  "requires every obs.Tracer.Emit in memsys/engine to be inside an Enabled() guard",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	pkg := strings.TrimSuffix(pass.PkgPath, "_test")
+	if !strings.HasSuffix(pkg, "internal/memsys") && !strings.HasSuffix(pkg, "internal/engine") {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		// First pass: the body ranges of every if statement whose condition
+		// consults Enabled on a tracer. Emits inside such a body (at any
+		// nesting depth) are guarded.
+		var guards []guard
+		ast.Inspect(file, func(n ast.Node) bool {
+			ifs, ok := n.(*ast.IfStmt)
+			if !ok {
+				return true
+			}
+			if condCallsEnabled(pass, ifs.Cond) {
+				guards = append(guards, guard{ifs.Body.Pos(), ifs.Body.End()})
+			}
+			return true
+		})
+		// Second pass: every Emit method call on a tracer must fall inside
+		// one of the collected guard bodies.
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !isTracerMethod(pass, call, "Emit") {
+				return true
+			}
+			for _, g := range guards {
+				if g.lo <= call.Pos() && call.Pos() < g.hi {
+					return true
+				}
+			}
+			pass.Reportf(call.Pos(), "obs.Tracer.Emit outside an Enabled() guard; wrap it in `if tr.Enabled(cat) { ... }` to keep the fast path allocation-free")
+			return true
+		})
+	}
+	return nil, nil
+}
+
+type guard struct{ lo, hi token.Pos }
+
+// condCallsEnabled reports whether the expression contains a call to the
+// tracer's Enabled method, however it is combined (negation, &&, ||).
+func condCallsEnabled(pass *analysis.Pass, cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isTracerMethod(pass, call, "Enabled") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isTracerMethod reports whether call invokes the named method on a value
+// whose type is obs.Tracer (or a pointer to it) from an internal/obs package.
+func isTracerMethod(pass *analysis.Pass, call *ast.CallExpr, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	selection, ok := pass.TypesInfo.Selections[sel]
+	if !ok || selection.Kind() != types.MethodVal {
+		return false
+	}
+	recv := selection.Recv()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Tracer" && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "internal/obs")
+}

@@ -1,0 +1,15 @@
+package tracegate_test
+
+import (
+	"testing"
+
+	"hmtx/tools/analyzers/analysis/analysistest"
+	"hmtx/tools/analyzers/tracegate"
+)
+
+func TestTracegate(t *testing.T) {
+	// sim/internal/memsys carries the want comments; other is out of scope
+	// and must stay silent despite its unguarded Emit.
+	analysistest.Run(t, analysistest.TestData(), tracegate.Analyzer,
+		"sim/internal/memsys", "other")
+}
