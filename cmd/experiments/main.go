@@ -3,14 +3,16 @@
 //
 // Usage:
 //
-//	experiments [-scale N] [-cores N] [-only fig8,table1,...] [-ablations]
-//	            [-json BENCH_run.json]
+//	experiments [-scale N] [-cores N] [-parallel N] [-only fig8,table1,...]
+//	            [-ablations] [-json BENCH_run.json]
+//	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // With no -only list it runs everything: Figure 1, Figure 2, Table 1,
 // Table 2, Figure 8, Figure 9 and Table 3, plus the design-choice ablations
 // when -ablations is set. -json additionally writes the raw measurements as
 // a deterministic "hmtx-bench/v1" document (see EXPERIMENTS.md for how to
-// diff two of them).
+// diff two of them); the document is byte-identical at every -parallel
+// setting.
 package main
 
 import (
@@ -19,6 +21,8 @@ import (
 	"io"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"hmtx/internal/experiments"
@@ -29,13 +33,42 @@ func main() {
 	log.SetPrefix("experiments: ")
 	scale := flag.Int("scale", 1, "iteration-count multiplier for every benchmark")
 	cores := flag.Int("cores", 4, "number of simulated cores")
+	parallel := flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
 	only := flag.String("only", "", "comma-separated subset: fig1,fig2,fig8,fig9,table1,table2,table3")
 	ablations := flag.Bool("ablations", false, "also run the design-choice ablations")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	jsonOut := flag.String("json", "", "write the raw measurements as deterministic JSON to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
 
-	cfg := experiments.Config{Scale: *scale, Cores: *cores}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
+
+	cfg := experiments.Config{Scale: *scale, Cores: *cores, Parallelism: *parallel}
 	want := map[string]bool{}
 	for _, k := range strings.Split(*only, ",") {
 		if k = strings.TrimSpace(k); k != "" {

@@ -9,6 +9,7 @@
 //	        [-sanitize]
 //	        [-trace] [-trace-cats bus,txn,...] [-trace-out trace.json]
 //	        [-stats] [-stats-json stats.json]
+//	        [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Observability (DESIGN.md §10): -trace streams a gem5-style text log of the
 // selected event categories to stdout; -trace-out writes the same events as
@@ -26,6 +27,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"hmtx/internal/engine"
 	"hmtx/internal/hmtx"
@@ -83,6 +86,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	traceOut := fs.String("trace-out", "", "write the event trace as Chrome trace_event JSON to this file")
 	statsText := fs.Bool("stats", false, "dump the statistics registry as an aligned table")
 	statsJSON := fs.String("stats-json", "", "write the run summary and statistics registry as JSON to this file")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write an allocation profile to this file on exit")
 	list := fs.Bool("list", false, "list benchmarks and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -90,6 +95,33 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fail := func(format string, a ...any) int {
 		fmt.Fprintf(stderr, "hmtxsim: "+format+"\n", a...)
 		return 1
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fail("%v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fail("%v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(stderr, "hmtxsim: %v\n", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(stderr, "hmtxsim: %v\n", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(stderr, "hmtxsim: %v\n", err)
+			}
+		}()
 	}
 
 	if *list {

@@ -9,6 +9,9 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"hmtx/internal/engine"
 	"hmtx/internal/hmtx"
@@ -27,10 +30,15 @@ type Config struct {
 	Scale int
 	// Cores is the machine size; the paper evaluates 4.
 	Cores int
+	// Parallelism is the number of simulations RunAll drives concurrently.
+	// Each (benchmark, mode) pair is one unit of work over its own
+	// engine.System, so the simulated results are identical at any setting;
+	// 1 runs the suite serially as before, 0 means GOMAXPROCS.
+	Parallelism int
 }
 
 // Default returns the evaluation configuration.
-func Default() Config { return Config{Scale: 1, Cores: 4} }
+func Default() Config { return Config{Scale: 1, Cores: 4, Parallelism: 1} }
 
 func (c Config) engineConfig() engine.Config {
 	ec := engine.DefaultConfig()
@@ -87,54 +95,146 @@ func activity(cycles int64, eng *engine.Stats, mem *memsys.Stats) power.Activity
 	}
 }
 
+// runSeq measures the sequential baseline, writing only the Seq* fields.
+func runSeq(cfg Config, r *BenchResult) {
+	sys := engine.New(cfg.engineConfig())
+	loop := r.Spec.New(cfg.Scale)
+	loop.Setup(sys.Mem)
+	r.SeqCycles = paradigm.RunSequential(sys, loop)
+	r.SeqAct = activity(r.SeqCycles, sys.Stats(), sys.Mem.Stats())
+}
+
+// runHMTX measures HMTX with maximal validation — every load and store inside
+// every transaction is validated (§6.1) — writing only the HMTX* fields.
+func runHMTX(cfg Config, r *BenchResult) {
+	sys := engine.New(cfg.engineConfig())
+	loop := r.Spec.New(cfg.Scale)
+	loop.Setup(sys.Mem)
+	r.HMTXOut = hmtx.Run(sys, loop, r.Spec.Paradigm, cfg.Cores)
+	r.HMTXEng = *sys.Stats()
+	r.HMTXMem = *sys.Mem.Stats()
+	r.HMTXAct = activity(r.HMTXOut.Cycles, sys.Stats(), sys.Mem.Stats())
+}
+
+// runSMTX measures SMTX with the given read/write-set mode, writing only the
+// corresponding SMTX* fields.
+func runSMTX(cfg Config, r *BenchResult, mode smtx.Mode) {
+	sys := engine.New(cfg.engineConfig())
+	loop := r.Spec.New(cfg.Scale)
+	loop.Setup(sys.Mem)
+	out := smtx.Run(sys, loop, r.Spec.Paradigm, cfg.Cores, mode, smtx.DefaultConfig())
+	act := activity(out.Cycles, sys.Stats(), sys.Mem.Stats())
+	if mode == smtx.MaxSet {
+		r.SMTXMaxOut, r.SMTXMaxAct = out, act
+	} else {
+		r.SMTXMinOut, r.SMTXMinAct = out, act
+	}
+}
+
 // RunBench measures one benchmark: sequential, HMTX with maximal validation,
 // and (when available) SMTX with minimal and maximal read/write sets.
 func RunBench(cfg Config, spec workloads.Spec) BenchResult {
 	r := BenchResult{Spec: spec}
-
-	// Sequential baseline.
-	sys := engine.New(cfg.engineConfig())
-	loop := spec.New(cfg.Scale)
-	loop.Setup(sys.Mem)
-	r.SeqCycles = paradigm.RunSequential(sys, loop)
-	r.SeqAct = activity(r.SeqCycles, sys.Stats(), sys.Mem.Stats())
-
-	// HMTX with maximal validation: every load and store inside every
-	// transaction is validated (§6.1).
-	sys = engine.New(cfg.engineConfig())
-	loop = spec.New(cfg.Scale)
-	loop.Setup(sys.Mem)
-	r.HMTXOut = hmtx.Run(sys, loop, spec.Paradigm, cfg.Cores)
-	r.HMTXEng = *sys.Stats()
-	r.HMTXMem = *sys.Mem.Stats()
-	r.HMTXAct = activity(r.HMTXOut.Cycles, sys.Stats(), sys.Mem.Stats())
-
+	runSeq(cfg, &r)
+	runHMTX(cfg, &r)
 	if spec.HasSMTX {
-		sys = engine.New(cfg.engineConfig())
-		loop = spec.New(cfg.Scale)
-		loop.Setup(sys.Mem)
-		r.SMTXMinOut = smtx.Run(sys, loop, spec.Paradigm, cfg.Cores, smtx.MinSet, smtx.DefaultConfig())
-		r.SMTXMinAct = activity(r.SMTXMinOut.Cycles, sys.Stats(), sys.Mem.Stats())
-
-		sys = engine.New(cfg.engineConfig())
-		loop = spec.New(cfg.Scale)
-		loop.Setup(sys.Mem)
-		r.SMTXMaxOut = smtx.Run(sys, loop, spec.Paradigm, cfg.Cores, smtx.MaxSet, smtx.DefaultConfig())
-		r.SMTXMaxAct = activity(r.SMTXMaxOut.Cycles, sys.Stats(), sys.Mem.Stats())
+		runSMTX(cfg, &r, smtx.MinSet)
+		runSMTX(cfg, &r, smtx.MaxSet)
 	}
 	return r
 }
 
+// unit is one independently runnable simulation: a (benchmark, mode) pair.
+// Each unit builds its own engine.System and writes a disjoint group of
+// fields of its BenchResult, so units never share mutable state.
+type unit struct {
+	idx  int // index into the result slice
+	mode string
+	run  func(*BenchResult)
+}
+
+// units expands specs into the flat work list, in spec order.
+func units(cfg Config, specs []workloads.Spec) []unit {
+	var us []unit
+	for i, spec := range specs {
+		i := i
+		us = append(us,
+			unit{i, "seq", func(r *BenchResult) { runSeq(cfg, r) }},
+			unit{i, "hmtx", func(r *BenchResult) { runHMTX(cfg, r) }})
+		if spec.HasSMTX {
+			us = append(us,
+				unit{i, "smtx-min", func(r *BenchResult) { runSMTX(cfg, r, smtx.MinSet) }},
+				unit{i, "smtx-max", func(r *BenchResult) { runSMTX(cfg, r, smtx.MaxSet) }})
+		}
+	}
+	return us
+}
+
+// RunSpecs measures the given benchmarks, writing progress lines to w (may be
+// nil). With cfg.Parallelism != 1 the (benchmark, mode) units run concurrently
+// on a worker pool; because every unit owns its engine.System and writes a
+// disjoint field group, and results live at fixed spec-order indices, the
+// returned slice — and hence BuildDoc's JSON — is identical at any
+// parallelism (DESIGN.md §11).
+func RunSpecs(cfg Config, specs []workloads.Spec, w io.Writer) []BenchResult {
+	out := make([]BenchResult, len(specs))
+	for i := range out {
+		out[i].Spec = specs[i]
+	}
+
+	p := cfg.Parallelism
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p == 1 {
+		for i, spec := range specs {
+			if w != nil {
+				fmt.Fprintf(w, "running %-12s (%v, scale %d)...\n", spec.Name, spec.Paradigm, cfg.Scale)
+			}
+			runSeq(cfg, &out[i])
+			runHMTX(cfg, &out[i])
+			if spec.HasSMTX {
+				runSMTX(cfg, &out[i], smtx.MinSet)
+				runSMTX(cfg, &out[i], smtx.MaxSet)
+			}
+		}
+		return out
+	}
+
+	us := units(cfg, specs)
+	if p > len(us) {
+		p = len(us)
+	}
+	var next atomic.Int64
+	var mu sync.Mutex // serialises progress lines
+	var wg sync.WaitGroup
+	for g := 0; g < p; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				n := int(next.Add(1)) - 1
+				if n >= len(us) {
+					return
+				}
+				u := us[n]
+				if w != nil {
+					spec := out[u.idx].Spec
+					mu.Lock()
+					fmt.Fprintf(w, "running %-12s %-8s (%v, scale %d)...\n", spec.Name, u.mode, spec.Paradigm, cfg.Scale)
+					mu.Unlock()
+				}
+				u.run(&out[u.idx])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
 // RunAll measures every benchmark, writing progress lines to w (may be nil).
 func RunAll(cfg Config, w io.Writer) []BenchResult {
-	var out []BenchResult
-	for _, spec := range workloads.All() {
-		if w != nil {
-			fmt.Fprintf(w, "running %-12s (%v, scale %d)...\n", spec.Name, spec.Paradigm, cfg.Scale)
-		}
-		out = append(out, RunBench(cfg, spec))
-	}
-	return out
+	return RunSpecs(cfg, workloads.All(), w)
 }
 
 // Table1 renders the per-benchmark speculative-execution statistics

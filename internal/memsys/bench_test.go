@@ -6,6 +6,61 @@ import (
 	"hmtx/internal/vid"
 )
 
+// newBenchH builds a hierarchy for performance benchmarks: MOESI-San off,
+// so the numbers reflect the production simulation path (the protocol tests
+// run the same scenarios with Sanitize on).
+func newBenchH(cores int) *Hierarchy {
+	cfg := DefaultConfig()
+	cfg.Cores = cores
+	return New(cfg)
+}
+
+// BenchmarkL1HitLoad measures the single hottest path of the whole
+// simulator: a non-speculative load served by the local L1. This path must
+// stay allocation-free (TestHotPathZeroAllocs).
+func BenchmarkL1HitLoad(b *testing.B) {
+	h := newBenchH(2)
+	h.PokeWord(addrA, 1)
+	h.Load(0, addrA, vid.NonSpec)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Load(0, addrA, vid.NonSpec)
+	}
+}
+
+// BenchmarkSnoopMiss measures a bus-snooped miss: alternating cores write
+// the same line, so every store misses locally and migrates the line from
+// the peer L1 over the bus.
+func BenchmarkSnoopMiss(b *testing.B) {
+	h := newBenchH(2)
+	h.Store(0, addrA, 1, vid.NonSpec)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Store((i+1)&1, addrA, uint64(i), vid.NonSpec)
+	}
+}
+
+// BenchmarkSettleAfterCommit measures the lazy-commit settle path (§5.3):
+// each iteration creates a speculative version, commits it, and touches the
+// line so the pending commit settles on access.
+func BenchmarkSettleAfterCommit(b *testing.B) {
+	h := newBenchH(2)
+	max := uint64(h.Config().VIDSpace.Max())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := vid.V(uint64(i)%max + 1)
+		if v == 1 && i > 0 {
+			h.VIDReset()
+		}
+		h.Store(0, addrA, uint64(i), v)
+		h.Commit(v)
+		h.Load(0, addrA, vid.NonSpec)
+	}
+}
+
 // BenchmarkL1HitNonSpec measures the simulator's hot path: an L1 load hit.
 func BenchmarkL1HitNonSpec(b *testing.B) {
 	h := newTestH(2)

@@ -9,22 +9,39 @@ import (
 // cache is one cache level: a set-associative array of Lines. Multiple
 // versions of the same line (same Tag, different VID ranges) may occupy
 // different ways of the same set (§4.1).
+//
+// Per-access work in this file is allocation-free: lookups iterate the ways
+// of one set inline instead of materialising version slices, and a per-set
+// generation stamp skips the settle scan entirely when nothing committed
+// since the set was last scanned for the same tag (DESIGN.md §11).
 type cache struct {
 	name    string
+	id      int // index into the hierarchy's cache array; bit in presence masks
 	hier    *Hierarchy
 	numSets int
 	ways    int
 	sets    [][]Line
 	hits    uint64 // requests this cache served (per-cache stats registry)
+
+	// setGen/setTag implement the settle-skip fast path: setGen[si] holds
+	// the hierarchy coherence generation (bumped on every Commit, VIDReset
+	// and AbortAll) at which set si was last settle-scanned, and setTag[si]
+	// the line address that scan was for. When both still match, every
+	// resident version of that tag is already settled and the scan is a
+	// provable no-op — the common case for consecutive L1 hits.
+	setGen []uint64
+	setTag []Addr
 }
 
-func newCache(name string, size, ways int, h *Hierarchy) *cache {
+func newCache(name string, id, size, ways int, h *Hierarchy) *cache {
 	numSets := size / (ways * LineSize)
-	c := &cache{name: name, hier: h, numSets: numSets, ways: ways}
+	c := &cache{name: name, id: id, hier: h, numSets: numSets, ways: ways}
 	c.sets = make([][]Line, numSets)
 	for i := range c.sets {
 		c.sets[i] = make([]Line, ways)
 	}
+	c.setGen = make([]uint64, numSets)
+	c.setTag = make([]Addr, numSets)
 	return c
 }
 
@@ -33,37 +50,41 @@ func (c *cache) setIndex(lineAddr Addr) int {
 }
 
 // set returns the ways of the set holding lineAddr, with every resident
-// version of lineAddr settled against pending lazy commits.
+// version of lineAddr settled against pending lazy commits. Only versions of
+// lineAddr itself are settled — other tags in the set keep their lazy state,
+// exactly as before the generation-stamp fast path existed, so victim
+// selection is unchanged.
 func (c *cache) set(lineAddr Addr) []Line {
-	s := c.sets[c.setIndex(lineAddr)]
+	si := c.setIndex(lineAddr)
+	s := c.sets[si]
 	h := c.hier
+	if c.setGen[si] == h.gen && c.setTag[si] == lineAddr {
+		// No commit, VID reset or abort since this set was last scanned
+		// for this tag, and every line entering a cache is settled at
+		// install time — the scan below would be a pure no-op.
+		return s
+	}
 	for i := range s {
 		if s[i].St != Invalid && s[i].Tag == lineAddr {
 			s[i].settle(h.epoch, h.lc, h.cfg.VIDSpace.Max())
 		}
 	}
+	c.setGen[si] = h.gen
+	c.setTag[si] = lineAddr
 	return s
-}
-
-// versions returns pointers to every settled, valid version of lineAddr in
-// the cache.
-func (c *cache) versions(lineAddr Addr) []*Line {
-	s := c.set(lineAddr)
-	var out []*Line
-	for i := range s {
-		if s[i].St != Invalid && s[i].Tag == lineAddr {
-			out = append(out, &s[i])
-		}
-	}
-	return out
 }
 
 // findHit returns the unique version of lineAddr that the effective request
 // VID a hits under the rules of §4.1, or nil. If snoop is true, SpecShared
 // copies do not respond (§4.1).
 func (c *cache) findHit(lineAddr Addr, a vid.V, snoop bool) *Line {
+	s := c.set(lineAddr)
 	var hit *Line
-	for _, ln := range c.versions(lineAddr) {
+	for i := range s {
+		ln := &s[i]
+		if ln.St == Invalid || ln.Tag != lineAddr {
+			continue
+		}
 		if snoop && ln.St == SpecShared {
 			continue
 		}
@@ -142,11 +163,18 @@ func (c *cache) pickVictim(lineAddr Addr) *Line {
 // insert places ln into the cache, returning the evicted line if a valid
 // line had to make room. The caller (the hierarchy) is responsible for
 // handling the victim: writing it back, pushing it down a level, or
-// aborting (§5.4).
+// aborting (§5.4). insert is the only way a valid line enters a cache, so it
+// also maintains the hierarchy's snoop-filter presence bits.
 func (c *cache) insert(ln Line) (victim Line, evicted bool) {
+	h := c.hier
 	// Merge with an existing copy of the same version: an S-S copy may
 	// meet its S-O/S-M original when lines migrate between levels.
-	for _, v := range c.versions(ln.Tag) {
+	s := c.set(ln.Tag)
+	for i := range s {
+		v := &s[i]
+		if v.St == Invalid || v.Tag != ln.Tag {
+			continue
+		}
 		if v.Mod == ln.Mod && v.St.Speculative() == ln.St.Speculative() {
 			merged := *v
 			if stateRank(ln.St) >= stateRank(v.St) {
@@ -167,6 +195,21 @@ func (c *cache) insert(ln Line) (victim Line, evicted bool) {
 	}
 	*slot = ln
 	c.touch(slot)
+	h.markPresent(c, ln.Tag)
+	if evicted && victim.Tag != ln.Tag {
+		// The victim's tag maps to the same set; if no sibling version
+		// of it survives there, this cache no longer holds the address.
+		still := false
+		for i := range s {
+			if s[i].St != Invalid && s[i].Tag == victim.Tag {
+				still = true
+				break
+			}
+		}
+		if !still {
+			h.clearPresent(c, victim.Tag)
+		}
+	}
 	return victim, evicted
 }
 

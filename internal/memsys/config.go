@@ -88,6 +88,10 @@ func (c Config) validate() {
 	switch {
 	case c.Cores <= 0:
 		panic("memsys: Cores must be positive")
+	case c.Cores > 63:
+		// The snoop filter keeps one presence bit per cache (Cores L1s
+		// plus the L2) in a uint64 mask.
+		panic("memsys: at most 63 cores supported")
 	case c.L1Size <= 0 || c.L1Ways <= 0 || c.L1Size%(c.L1Ways*LineSize) != 0:
 		panic("memsys: invalid L1 geometry")
 	case c.L2Size <= 0 || c.L2Ways <= 0 || c.L2Size%(c.L2Ways*LineSize) != 0:

@@ -2,6 +2,7 @@ package memsys
 
 import (
 	"fmt"
+	"math/bits"
 
 	"hmtx/internal/obs"
 	"hmtx/internal/vid"
@@ -18,6 +19,7 @@ type Hierarchy struct {
 	cfg      Config
 	l1s      []*cache
 	l2       *cache
+	all      []*cache // every cache: l1s in core order, then l2 (built once in New)
 	mem      *memory
 	lc       vid.V  // latest committed VID (LC VID register, §5.3)
 	epoch    uint64 // VID epoch, advanced by VID Reset (§4.6)
@@ -25,6 +27,20 @@ type Hierarchy struct {
 	stats    Stats
 	tracker  Tracker
 	tracer   *obs.Tracer // nil when tracing is disabled (obs.go)
+
+	// gen is the coherence generation, bumped whenever (epoch, lc) moves or
+	// an abort sweep rewrites lines. Each cache set records the generation
+	// of its last settle scan, making repeat scans skippable (cache.set).
+	gen uint64
+
+	// pres is the snoop filter (DESIGN.md §11): for each line address, a
+	// bitmask of the caches (bit i = h.all[i]) that may hold a version of
+	// the line. The mask is a conservative superset — a set bit may be
+	// stale, but a clear bit guarantees absence — so bus snoops and
+	// protocol sweeps visit only caches that can respond instead of
+	// broadcasting to all Cores+1 caches. MOESI-San asserts the superset
+	// property after every operation (invariant 8, sanitize.go).
+	pres map[Addr]uint64
 
 	// Latency histograms, registered by Register (obs.go); nil until then.
 	histLoadLat  *obs.Histogram
@@ -42,12 +58,63 @@ type Hierarchy struct {
 // New builds a hierarchy for the given configuration.
 func New(cfg Config) *Hierarchy {
 	cfg.validate()
-	h := &Hierarchy{cfg: cfg, mem: newMemory()}
+	h := &Hierarchy{cfg: cfg, mem: newMemory(), gen: 1, pres: make(map[Addr]uint64)}
 	for i := 0; i < cfg.Cores; i++ {
-		h.l1s = append(h.l1s, newCache(fmt.Sprintf("L1.%d", i), cfg.L1Size, cfg.L1Ways, h))
+		h.l1s = append(h.l1s, newCache(fmt.Sprintf("L1.%d", i), i, cfg.L1Size, cfg.L1Ways, h))
 	}
-	h.l2 = newCache("L2", cfg.L2Size, cfg.L2Ways, h)
+	h.l2 = newCache("L2", cfg.Cores, cfg.L2Size, cfg.L2Ways, h)
+	h.all = append(append([]*cache{}, h.l1s...), h.l2)
 	return h
+}
+
+// markPresent records that cache c may hold a version of lineAddr.
+func (h *Hierarchy) markPresent(c *cache, lineAddr Addr) {
+	h.pres[lineAddr] |= 1 << c.id
+}
+
+// clearPresent records that cache c holds no version of lineAddr. It must
+// only be called when absence has actually been verified (insert's victim
+// rescan, or a sweep that found the set empty for the tag).
+func (h *Hierarchy) clearPresent(c *cache, lineAddr Addr) {
+	m := h.pres[lineAddr] &^ (1 << c.id)
+	if m == 0 {
+		delete(h.pres, lineAddr)
+	} else {
+		h.pres[lineAddr] = m
+	}
+}
+
+// holders returns the presence mask for lineAddr: the caches a snoop or
+// protocol sweep must visit. Caches outside the mask provably hold no
+// version of the line, so skipping them is invisible to the protocol.
+func (h *Hierarchy) holders(lineAddr Addr) uint64 { return h.pres[lineAddr] }
+
+// sweepVersions applies fn to every settled, valid version of lineAddr in
+// every cache that may hold one, in deterministic cache order (L1.0 … L2).
+// It stops early when fn returns false. Caches whose presence bit proves
+// stale (no resident version after settling) have the bit cleared, keeping
+// the filter tight without a dedicated invalidation hook at every protocol
+// transition.
+func (h *Hierarchy) sweepVersions(lineAddr Addr, fn func(*cache, *Line) bool) {
+	mask := h.holders(lineAddr)
+	for mask != 0 {
+		i := bits.TrailingZeros64(mask)
+		mask &^= 1 << i
+		c := h.all[i]
+		s := c.set(lineAddr)
+		n := 0
+		for w := range s {
+			if s[w].St != Invalid && s[w].Tag == lineAddr {
+				n++
+				if !fn(c, &s[w]) {
+					return
+				}
+			}
+		}
+		if n == 0 {
+			h.clearPresent(c, lineAddr)
+		}
+	}
 }
 
 // SetTracker installs the per-transaction activity tracker (may be nil).
@@ -79,7 +146,9 @@ type Result struct {
 	NeedsSLA bool
 }
 
-func (h *Hierarchy) allCaches() []*cache { return append(append([]*cache{}, h.l1s...), h.l2) }
+// allCaches returns every cache (L1s in core order, then the L2). The slice
+// is built once in New and must not be mutated by callers.
+func (h *Hierarchy) allCaches() []*cache { return h.all }
 
 // Load performs a load by the given core. a is the VID of the issuing
 // transaction (vid.NonSpec for non-speculative execution).
@@ -541,6 +610,7 @@ func (h *Hierarchy) Commit(v vid.V) Result {
 		panic(fmt.Sprintf("memsys: commit of vid %d but LC VID is %d; commits must be consecutive", v, h.lc))
 	}
 	h.lc = v
+	h.gen++ // resident lines may now carry pending commits; force re-scans
 	h.stats.Commits++
 	h.stats.BusMessages++
 	lat := h.cfg.BusLat
@@ -567,6 +637,7 @@ func (h *Hierarchy) Commit(v vid.V) Result {
 // lines survive. The LC VID is unchanged; software restarts the aborted
 // transactions reusing the VIDs above LC.
 func (h *Hierarchy) AbortAll() Result {
+	h.gen++ // the eager sweep rewrites lines under every set's stamp
 	h.stats.Aborts++
 	h.stats.BusMessages++
 	if h.tracer.Enabled(obs.CatCommit) {
@@ -597,6 +668,7 @@ func (h *Hierarchy) AbortAll() Result {
 func (h *Hierarchy) VIDReset() Result {
 	h.epoch++
 	h.lc = 0
+	h.gen++ // every line's epoch is now stale; force re-scans
 	h.stats.VIDResets++
 	h.stats.BusMessages++
 	if h.tracer.Enabled(obs.CatTxn) {
@@ -608,6 +680,9 @@ func (h *Hierarchy) VIDReset() Result {
 // snoop broadcasts a request for lineAddr on the bus and returns the unique
 // responding version (S-S copies do not respond, §4.1). For non-speculative
 // data several Shared copies may exist; the highest-authority one responds.
+// Only caches whose snoop-filter presence bit is set are visited: a clear
+// bit proves the cache holds no version of the line, so it could not have
+// responded to the broadcast anyway.
 func (h *Hierarchy) snoop(core int, lineAddr Addr, eff vid.V) (*Line, *cache) {
 	var best *Line
 	var bestCache *cache
@@ -632,16 +707,17 @@ func (h *Hierarchy) snoop(core int, lineAddr Addr, eff vid.V) (*Line, *cache) {
 			best, bestCache = ln, c
 		}
 	}
-	for i, c := range h.l1s {
+	mask := h.holders(lineAddr)
+	for mask != 0 {
+		i := bits.TrailingZeros64(mask)
+		mask &^= 1 << i
 		if i == core {
-			continue
+			continue // the requester's own L1 does not respond
 		}
+		c := h.all[i]
 		if ln := c.findHit(lineAddr, eff, true); ln != nil {
 			consider(ln, c)
 		}
-	}
-	if ln := h.l2.findHit(lineAddr, eff, true); ln != nil {
-		consider(ln, h.l2)
 	}
 	return best, bestCache
 }
@@ -652,17 +728,16 @@ func (h *Hierarchy) snoop(core int, lineAddr Addr, eff vid.V) (*Line, *cache) {
 func (h *Hierarchy) migrate(lineAddr Addr, owner *Line, oc *cache) Line {
 	moved := *owner
 	dirty := owner.St == Modified || owner.St == Owned
-	for _, c := range h.allCaches() {
-		for _, v := range c.versions(lineAddr) {
-			if v.St.Speculative() {
-				continue
-			}
-			if v.St == Modified || v.St == Owned {
-				dirty = true
-			}
-			v.St = Invalid
+	h.sweepVersions(lineAddr, func(_ *cache, v *Line) bool {
+		if v.St.Speculative() {
+			return true
 		}
-	}
+		if v.St == Modified || v.St == Owned {
+			dirty = true
+		}
+		v.St = Invalid
+		return true
+	})
 	if dirty {
 		moved.St = Modified
 	} else {
@@ -674,26 +749,24 @@ func (h *Hierarchy) migrate(lineAddr Addr, owner *Line, oc *cache) Line {
 // invalidateNonSpecCopies invalidates every non-speculative copy of lineAddr
 // except keep (a local upgrade, §4.2).
 func (h *Hierarchy) invalidateNonSpecCopies(lineAddr Addr, keep *Line) {
-	for _, c := range h.allCaches() {
-		for _, v := range c.versions(lineAddr) {
-			if v != keep && !v.St.Speculative() {
-				v.St = Invalid
-			}
+	h.sweepVersions(lineAddr, func(_ *cache, v *Line) bool {
+		if v != keep && !v.St.Speculative() {
+			v.St = Invalid
 		}
-	}
+		return true
+	})
 }
 
 // capSpecSharedCopies bounds every S-S copy of the version with modVID
 // oldMod at the new store's VID, so stale copies cannot serve VIDs that must
 // observe the new version.
 func (h *Hierarchy) capSpecSharedCopies(lineAddr Addr, oldMod, a vid.V, except *Line) {
-	for _, c := range h.allCaches() {
-		for _, v := range c.versions(lineAddr) {
-			if v != except && v.St == SpecShared && v.Mod == oldMod && v.High > a {
-				v.High = a
-			}
+	h.sweepVersions(lineAddr, func(_ *cache, v *Line) bool {
+		if v != except && v.St == SpecShared && v.Mod == oldMod && v.High > a {
+			v.High = a
 		}
-	}
+		return true
+	})
 }
 
 // dropLocalSpecSharedCopies invalidates same-cache S-S copies of the version
@@ -702,7 +775,12 @@ func (h *Hierarchy) capSpecSharedCopies(lineAddr Addr, oldMod, a vid.V, except *
 // S-S(0,·) copy whose serve range overlaps the new owner's, double-serving
 // the VIDs both cover. (Dropping an S-S copy is always safe.)
 func dropLocalSpecSharedCopies(c *cache, keep *Line) {
-	for _, v := range c.versions(keep.Tag) {
+	s := c.set(keep.Tag)
+	for i := range s {
+		v := &s[i]
+		if v.St == Invalid || v.Tag != keep.Tag {
+			continue
+		}
 		if v != keep && v.St == SpecShared && v.Mod == keep.Mod {
 			v.St = Invalid
 		}
@@ -711,13 +789,12 @@ func dropLocalSpecSharedCopies(c *cache, keep *Line) {
 
 // dropSpecSharedCopies invalidates every S-S copy of lineAddr.
 func (h *Hierarchy) dropSpecSharedCopies(lineAddr Addr) {
-	for _, c := range h.allCaches() {
-		for _, v := range c.versions(lineAddr) {
-			if v.St == SpecShared {
-				v.St = Invalid
-			}
+	h.sweepVersions(lineAddr, func(_ *cache, v *Line) bool {
+		if v.St == SpecShared {
+			v.St = Invalid
 		}
-	}
+		return true
+	})
 }
 
 // scanHighs returns the highest accessor VID of any speculative version of
@@ -725,41 +802,56 @@ func (h *Hierarchy) dropSpecSharedCopies(lineAddr Addr) {
 // mark. Only latest versions (S-M/S-E) carry true accessor marks: the
 // highVID of S-O/S-S lines is a version-range bound (the modVID of the next
 // version, or a re-snoop bound on copies), and that next version's own
-// highVID subsumes it.
+// highVID subsumes it. This runs on every store, so it iterates the
+// presence mask inline rather than through sweepVersions.
 func (h *Hierarchy) scanHighs(lineAddr Addr) (maxHigh, maxShadow vid.V) {
-	for _, c := range h.allCaches() {
-		for _, v := range c.versions(lineAddr) {
+	mask := h.holders(lineAddr)
+	for mask != 0 {
+		i := bits.TrailingZeros64(mask)
+		mask &^= 1 << i
+		c := h.all[i]
+		s := c.set(lineAddr)
+		n := 0
+		for w := range s {
+			v := &s[w]
+			if v.St == Invalid || v.Tag != lineAddr {
+				continue
+			}
+			n++
 			if v.St.latest() && v.High > maxHigh {
 				maxHigh = v.High
 			}
-			if s := v.shadow(h.epoch); s > maxShadow {
-				maxShadow = s
+			if sh := v.shadow(h.epoch); sh > maxShadow {
+				maxShadow = sh
 			}
+		}
+		if n == 0 {
+			h.clearPresent(c, lineAddr)
 		}
 	}
 	return maxHigh, maxShadow
 }
 
 func (h *Hierarchy) clearShadows(lineAddr Addr) {
-	for _, c := range h.allCaches() {
-		for _, v := range c.versions(lineAddr) {
-			v.ShadowHigh, v.ShadowEpoch = 0, 0
-		}
-	}
+	h.sweepVersions(lineAddr, func(_ *cache, v *Line) bool {
+		v.ShadowHigh, v.ShadowEpoch = 0, 0
+		return true
+	})
 }
 
 // anySpecModAbove reports whether any cache holds a speculatively modified
 // version of lineAddr with modVID above eff — the §5.4 "this address was
 // speculatively modified" snoop assertion.
 func (h *Hierarchy) anySpecModAbove(lineAddr Addr, eff vid.V) bool {
-	for _, c := range h.allCaches() {
-		for _, v := range c.versions(lineAddr) {
-			if v.St.Speculative() && v.Mod > eff {
-				return true
-			}
+	found := false
+	h.sweepVersions(lineAddr, func(_ *cache, v *Line) bool {
+		if v.St.Speculative() && v.Mod > eff {
+			found = true
+			return false
 		}
-	}
-	return false
+		return true
+	})
+	return found
 }
 
 // install places ln into cache c, handling the eviction cascade: L1 victims
@@ -779,7 +871,12 @@ func (h *Hierarchy) install(c *cache, ln Line) *Line {
 		h.placeVictim(victim, c)
 	}
 	// Locate the resident line (insert may have merged with a copy).
-	for _, v := range c.versions(ln.Tag) {
+	s := c.set(ln.Tag)
+	for i := range s {
+		v := &s[i]
+		if v.St == Invalid || v.Tag != ln.Tag {
+			continue
+		}
 		if v.St.Speculative() == ln.St.Speculative() && v.Mod == ln.Mod {
 			return v
 		}
@@ -861,14 +958,13 @@ func (h *Hierarchy) PeekWord(addr Addr) uint64 {
 func (h *Hierarchy) PokeWord(addr Addr, val uint64) {
 	h.sanBegin(addr)
 	la := LineAddr(addr)
-	for _, c := range h.allCaches() {
-		for _, v := range c.versions(la) {
-			if v.St.Speculative() {
-				panic(fmt.Sprintf("memsys: PokeWord(%#x) on speculatively accessed line %v", addr, v))
-			}
-			v.SetWord(addr, val)
+	h.sweepVersions(la, func(_ *cache, v *Line) bool {
+		if v.St.Speculative() {
+			panic(fmt.Sprintf("memsys: PokeWord(%#x) on speculatively accessed line %v", addr, v))
 		}
-	}
+		v.SetWord(addr, val)
+		return true
+	})
 	h.mem.setWord(addr, val)
 	h.sanCheck()
 }
@@ -877,10 +973,14 @@ func (h *Hierarchy) PokeWord(addr Addr, val uint64) {
 // addr held by the given cache (0..Cores-1 are the L1s, Cores is the L2),
 // for tests and the cachetrace example.
 func (h *Hierarchy) Versions(cacheIdx int, addr Addr) []Line {
-	caches := h.allCaches()
+	c := h.all[cacheIdx]
+	la := LineAddr(addr)
+	s := c.set(la)
 	var out []Line
-	for _, v := range caches[cacheIdx].versions(LineAddr(addr)) {
-		out = append(out, *v)
+	for i := range s {
+		if s[i].St != Invalid && s[i].Tag == la {
+			out = append(out, s[i])
+		}
 	}
 	return out
 }

@@ -168,6 +168,9 @@ func (l *Line) applyAbort() {
 // epoch and lc are the hierarchy's current VID epoch and latest committed
 // VID.
 func (l *Line) settle(epoch uint64, lc vid.V, maxV vid.V) {
+	if l.Epoch == epoch && l.SettledLC == lc {
+		return // already settled against the current registers
+	}
 	if l.St == Invalid || !l.St.Speculative() {
 		l.Epoch, l.SettledLC = epoch, lc
 		return

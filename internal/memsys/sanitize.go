@@ -52,6 +52,11 @@ import (
 //     byte-identical, and match memory when none is dirty; every serveable
 //     S-S copy is byte-identical to its same-modVID owner, or — when the
 //     owner was legally written back to memory (§5.4) — to memory itself.
+//  8. Snoop-filter coverage (DESIGN.md §11): every cache holding a valid
+//     frame of a line has its presence bit set in the hierarchy's snoop
+//     filter — the filter is a conservative superset, so it can never mask
+//     a real copy from a bus snoop or protocol sweep. (Stale set bits are
+//     legal; they cost a wasted visit, never correctness.)
 type sanitizer struct {
 	// touched accumulates the line addresses the current operation moved,
 	// marked or evicted, in first-touch order (deterministic).
@@ -233,8 +238,30 @@ func (h *Hierarchy) lineViews(la Addr) []sanView {
 	return out
 }
 
+// checkFilter asserts invariant 8 for la: any cache holding a valid frame of
+// the line must be covered by the snoop filter's presence mask.
+func (h *Hierarchy) checkFilter(la Addr) error {
+	mask := h.pres[la]
+	for _, c := range h.all {
+		if mask&(1<<c.id) != 0 {
+			continue
+		}
+		set := c.sets[c.setIndex(la)]
+		for wi := range set {
+			if set[wi].St != Invalid && set[wi].Tag == la {
+				return h.violation(la, "%s holds %v but its snoop-filter presence bit is clear (mask %#x)",
+					c.name, &set[wi], mask)
+			}
+		}
+	}
+	return nil
+}
+
 // checkLine asserts every cross-cache invariant for the line at la.
 func (h *Hierarchy) checkLine(la Addr) error {
+	if err := h.checkFilter(la); err != nil {
+		return err
+	}
 	maxV := h.cfg.VIDSpace.Max()
 	views := h.lineViews(la)
 

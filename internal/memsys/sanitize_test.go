@@ -16,6 +16,9 @@ func plant(h *Hierarchy, c *cache, ln Line) {
 			h.lruClock++
 			ln.lru = h.lruClock
 			set[i] = ln
+			// Planted lines model a line that legally entered the cache,
+			// so keep the snoop-filter presence bits covering it.
+			h.markPresent(c, ln.Tag)
 			return
 		}
 	}

@@ -1,0 +1,183 @@
+// Command benchdiff compares two recorded benchmark documents and enforces
+// the regression policy of EXPERIMENTS.md.
+//
+// Usage:
+//
+//	benchdiff [-tol 0.20] OLD.json NEW.json
+//
+// Both files must carry the same schema tag:
+//
+//   - "hmtx-bench/v1" (cmd/experiments -json): every field is a simulated,
+//     deterministic measurement, so the documents must match exactly; any
+//     difference is a regression (exit 1).
+//   - "hmtx-perf/v1" (tools/perfsnap): the simulated digest must match
+//     exactly (exit 1 on drift — the snapshots measured different work), an
+//     allocs/op increase in any shared microbenchmark fails (exit 1: the
+//     zero-allocation contract is host-independent), and wall-clock or
+//     ns/op regressions beyond -tol only warn (exit 0) because host timing
+//     is machine- and load-dependent.
+//
+// Exit status: 0 comparison passed (warnings allowed), 1 regression,
+// 2 usage or read error.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"hmtx/internal/experiments"
+	"hmtx/tools/benchfmt"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchdiff: ")
+	tol := flag.Float64("tol", 0.20, "relative guardband for host-time regressions (warn-only)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tol 0.20] OLD.json NEW.json")
+		os.Exit(2)
+	}
+	oldBuf, newBuf := mustRead(flag.Arg(0)), mustRead(flag.Arg(1))
+
+	var probe struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(oldBuf, &probe); err != nil {
+		log.Println(err)
+		os.Exit(2)
+	}
+
+	var fails, warns int
+	switch probe.Schema {
+	case "hmtx-bench/v1":
+		fails = diffBench(oldBuf, newBuf)
+	case benchfmt.Schema:
+		fails, warns = diffPerf(oldBuf, newBuf, *tol)
+	default:
+		log.Printf("%s: unknown schema %q", flag.Arg(0), probe.Schema)
+		os.Exit(2)
+	}
+
+	switch {
+	case fails > 0:
+		log.Printf("FAIL: %d regression(s), %d warning(s)", fails, warns)
+		os.Exit(1)
+	case warns > 0:
+		log.Printf("ok with %d warning(s)", warns)
+	default:
+		log.Printf("ok: no regressions")
+	}
+}
+
+func mustRead(path string) []byte {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		log.Println(err)
+		os.Exit(2)
+	}
+	return buf
+}
+
+// diffBench compares two hmtx-bench/v1 documents field by field; every
+// difference is a failure because the document is fully deterministic.
+func diffBench(oldBuf, newBuf []byte) (fails int) {
+	var od, nd experiments.Doc
+	for _, p := range []struct {
+		buf []byte
+		doc *experiments.Doc
+	}{{oldBuf, &od}, {newBuf, &nd}} {
+		if err := json.Unmarshal(p.buf, p.doc); err != nil {
+			log.Println(err)
+			os.Exit(2)
+		}
+	}
+	if od.Scale != nd.Scale || od.Cores != nd.Cores {
+		log.Printf("FAIL: configs differ: scale %d/%d cores %d/%d — not comparable",
+			od.Scale, nd.Scale, od.Cores, nd.Cores)
+		return 1
+	}
+	oldBy := map[string]experiments.BenchJSON{}
+	for _, b := range od.Benchmarks {
+		oldBy[b.Name] = b
+	}
+	for _, nb := range nd.Benchmarks {
+		ob, ok := oldBy[nb.Name]
+		if !ok {
+			log.Printf("note: %s only in new document", nb.Name)
+			continue
+		}
+		delete(oldBy, nb.Name)
+		// BenchJSON holds pointers (SMTX results), so compare the
+		// canonical JSON encodings rather than the structs.
+		oj, _ := json.Marshal(ob)
+		nj, _ := json.Marshal(nb)
+		if !bytes.Equal(oj, nj) {
+			log.Printf("FAIL: %s simulated metrics drifted:\n  old: %s\n  new: %s", nb.Name, oj, nj)
+			fails++
+		}
+	}
+	for name := range oldBy {
+		log.Printf("FAIL: %s missing from new document", name)
+		fails++
+	}
+	return fails
+}
+
+// diffPerf compares two hmtx-perf/v1 documents: simulated digest exactly,
+// allocation counts monotonically, host timing within tol (warn-only).
+func diffPerf(oldBuf, newBuf []byte, tol float64) (fails, warns int) {
+	od, err := benchfmt.Read(bytes.NewReader(oldBuf))
+	if err == nil {
+		var nd benchfmt.Doc
+		nd, err = benchfmt.Read(bytes.NewReader(newBuf))
+		if err == nil {
+			return diffPerfDocs(od, nd, tol)
+		}
+	}
+	log.Println(err)
+	os.Exit(2)
+	return
+}
+
+func diffPerfDocs(od, nd benchfmt.Doc, tol float64) (fails, warns int) {
+	// Simulated digest: deterministic, so exact.
+	if od.Suite.GeomeanHMTX != nd.Suite.GeomeanHMTX || od.Suite.TotalSeqCycles != nd.Suite.TotalSeqCycles {
+		log.Printf("FAIL: simulated digest drifted: geomean %.6f -> %.6f, seq cycles %d -> %d",
+			od.Suite.GeomeanHMTX, nd.Suite.GeomeanHMTX,
+			od.Suite.TotalSeqCycles, nd.Suite.TotalSeqCycles)
+		fails++
+	}
+
+	// Suite wall-clock: warn-only guardband.
+	if ow, nw := od.Suite.WallSeconds, nd.Suite.WallSeconds; ow > 0 && nw > ow*(1+tol) {
+		log.Printf("warn: suite wall-clock regressed %.1f%%: %.2fs -> %.2fs (parallelism %d -> %d)",
+			100*(nw/ow-1), ow, nw, od.Suite.Parallelism, nd.Suite.Parallelism)
+		warns++
+	}
+
+	oldBy := map[string]benchfmt.Benchmark{}
+	for _, b := range od.Benchmarks {
+		oldBy[b.Name] = b
+	}
+	for _, nb := range nd.Benchmarks {
+		ob, ok := oldBy[nb.Name]
+		if !ok {
+			continue
+		}
+		if nb.AllocsPerOp > ob.AllocsPerOp {
+			log.Printf("FAIL: %s allocs/op increased: %d -> %d", nb.Name, ob.AllocsPerOp, nb.AllocsPerOp)
+			fails++
+		}
+		if ob.NsPerOp > 0 && nb.NsPerOp > ob.NsPerOp*(1+tol) {
+			log.Printf("warn: %s ns/op regressed %.1f%%: %.1f -> %.1f",
+				nb.Name, 100*(nb.NsPerOp/ob.NsPerOp-1), ob.NsPerOp, nb.NsPerOp)
+			warns++
+		}
+	}
+	return fails, warns
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+
+	"hmtx/internal/experiments"
+	"hmtx/tools/benchfmt"
+)
+
+func benchDoc(cycles int64) []byte {
+	doc := experiments.Doc{
+		Schema: "hmtx-bench/v1", Scale: 1, Cores: 4,
+		Benchmarks: []experiments.BenchJSON{{
+			Name: "ispell", Paradigm: "PS-DSWP", SeqCycles: cycles,
+			HMTX: experiments.SysJSON{Cycles: cycles / 2, Speedup: 2, Runs: 1},
+		}},
+		GeomeanHMTX: 2,
+	}
+	buf, err := json.Marshal(doc)
+	if err != nil {
+		panic(err)
+	}
+	return buf
+}
+
+func TestDiffBenchExact(t *testing.T) {
+	if fails := diffBench(benchDoc(1000), benchDoc(1000)); fails != 0 {
+		t.Fatalf("identical docs: %d fails, want 0", fails)
+	}
+	if fails := diffBench(benchDoc(1000), benchDoc(1001)); fails == 0 {
+		t.Fatal("simulated-cycle drift not detected")
+	}
+}
+
+func perfDoc(wall float64, seqCycles int64, ns float64, allocs int64) benchfmt.Doc {
+	return benchfmt.Doc{
+		Schema: benchfmt.Schema,
+		Suite: benchfmt.Suite{
+			Parallelism: 1, WallSeconds: wall,
+			GeomeanHMTX: 2.5, TotalSeqCycles: seqCycles,
+		},
+		Benchmarks: []benchfmt.Benchmark{
+			{Name: "BenchmarkL1HitLoad", NsPerOp: ns, AllocsPerOp: allocs},
+		},
+	}
+}
+
+func TestDiffPerfPolicy(t *testing.T) {
+	base := perfDoc(10, 1000, 30, 0)
+
+	// Identical: clean pass.
+	if fails, warns := diffPerfDocs(base, perfDoc(10, 1000, 30, 0), 0.20); fails != 0 || warns != 0 {
+		t.Fatalf("identical: fails=%d warns=%d", fails, warns)
+	}
+
+	// Simulated digest drift: hard failure.
+	if fails, _ := diffPerfDocs(base, perfDoc(10, 1001, 30, 0), 0.20); fails == 0 {
+		t.Fatal("sim digest drift not failed")
+	}
+
+	// Allocation increase: hard failure (host-independent contract).
+	if fails, _ := diffPerfDocs(base, perfDoc(10, 1000, 30, 1), 0.20); fails == 0 {
+		t.Fatal("allocs/op increase not failed")
+	}
+
+	// Wall-clock regression beyond tolerance: warn only.
+	if fails, warns := diffPerfDocs(base, perfDoc(13, 1000, 30, 0), 0.20); fails != 0 || warns != 1 {
+		t.Fatalf("wall-clock regression: fails=%d warns=%d, want 0/1", fails, warns)
+	}
+
+	// ns/op regression beyond tolerance: warn only.
+	if fails, warns := diffPerfDocs(base, perfDoc(10, 1000, 40, 0), 0.20); fails != 0 || warns != 1 {
+		t.Fatalf("ns/op regression: fails=%d warns=%d, want 0/1", fails, warns)
+	}
+
+	// Within tolerance: no warning.
+	if fails, warns := diffPerfDocs(base, perfDoc(11, 1000, 33, 0), 0.20); fails != 0 || warns != 0 {
+		t.Fatalf("within tolerance: fails=%d warns=%d", fails, warns)
+	}
+}

@@ -1,0 +1,113 @@
+// Command perfsnap records a performance snapshot of the simulator as an
+// "hmtx-perf/v1" document (a BENCH_*.json file, see EXPERIMENTS.md).
+//
+// Usage:
+//
+//	perfsnap [-parallel N] [-scale N] [-bench-file bench.txt]
+//	         [-note "..."] -o BENCH_1.json
+//
+// perfsnap runs the full experiment suite under a wall-clock timer and
+// records both the host time and a digest of the simulated results (which
+// must be identical across comparable snapshots — drift means the snapshots
+// measured different work). -bench-file folds in microbenchmark results
+// captured separately with
+//
+//	go test ./internal/memsys/ -run '^$' -bench . -benchmem > bench.txt
+//
+// Wall-clock timing deliberately lives here rather than in the simulation
+// packages: tools/ is outside the determinism lint scope (simscope), so the
+// simulator itself stays free of ambient time sources.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"hmtx/internal/experiments"
+	"hmtx/tools/benchfmt"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("perfsnap: ")
+	parallel := flag.Int("parallel", 0, "suite parallelism (0 = GOMAXPROCS, 1 = serial)")
+	scale := flag.Int("scale", 1, "iteration-count multiplier for every benchmark")
+	benchFile := flag.String("bench-file", "", "fold in `go test -bench -benchmem` output from this file")
+	note := flag.String("note", "", "caveat to record in the document")
+	out := flag.String("o", "", "output file (required)")
+	quiet := flag.Bool("q", false, "suppress progress output")
+	flag.Parse()
+	if *out == "" {
+		log.Fatal("-o is required")
+	}
+
+	doc := benchfmt.Doc{
+		Schema: benchfmt.Schema,
+		Host: benchfmt.Host{
+			GoOS:   runtime.GOOS,
+			GoArch: runtime.GOARCH,
+			CPUs:   runtime.NumCPU(),
+		},
+	}
+
+	if *benchFile != "" {
+		f, err := os.Open(*benchFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		doc.Benchmarks, err = benchfmt.ParseGoBench(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	cfg := experiments.Default()
+	cfg.Scale = *scale
+	cfg.Parallelism = *parallel
+	progress := os.Stderr
+	if *quiet {
+		progress = nil
+	}
+	start := time.Now()
+	results := experiments.RunAll(cfg, progress)
+	wall := time.Since(start)
+
+	bd := experiments.BuildDoc(cfg, results)
+	var totalSeq int64
+	for _, b := range bd.Benchmarks {
+		totalSeq += b.SeqCycles
+	}
+	doc.Suite = benchfmt.Suite{
+		Parallelism:    *parallel,
+		WallSeconds:    wall.Seconds(),
+		GeomeanHMTX:    bd.GeomeanHMTX,
+		TotalSeqCycles: totalSeq,
+	}
+
+	if *note != "" {
+		doc.Notes = append(doc.Notes, *note)
+	}
+	if runtime.NumCPU() == 1 {
+		doc.Notes = append(doc.Notes, "single-CPU host: suite parallelism cannot improve wall-clock here")
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := benchfmt.Write(f, doc); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "perfsnap: suite %.2fs wall (parallelism %d), %d microbenchmarks -> %s\n",
+		wall.Seconds(), *parallel, len(doc.Benchmarks), *out)
+}
