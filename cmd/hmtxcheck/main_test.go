@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runMain(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code := run(args, &out, &errBuf)
+	return code, out.String(), errBuf.String()
+}
+
+func TestCleanRunExitsZero(t *testing.T) {
+	code, out, _ := runMain(t, "-cores", "2", "-addrs", "1", "-vids", "1")
+	if code != 0 {
+		t.Fatalf("exit=%d, want 0\n%s", code, out)
+	}
+	if !strings.Contains(out, "result: ok") || !strings.Contains(out, "exhausted=true") {
+		t.Fatalf("unexpected report:\n%s", out)
+	}
+}
+
+func TestInjectedBugExitsOne(t *testing.T) {
+	code, out, _ := runMain(t, "-vids", "1", "-inject", "stale-sscopy-on-convert")
+	if code != 1 {
+		t.Fatalf("exit=%d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "VIOLATION") || !strings.Contains(out, "counterexample") {
+		t.Fatalf("missing counterexample in report:\n%s", out)
+	}
+}
+
+func TestQuietAndJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sum.json")
+	code, out, _ := runMain(t, "-q", "-json", path)
+	if code != 0 {
+		t.Fatalf("exit=%d, want 0", code)
+	}
+	if out != "" {
+		t.Fatalf("-q still wrote output: %q", out)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum struct {
+		States    int  `json:"states"`
+		Exhausted bool `json:"exhausted"`
+	}
+	if err := json.Unmarshal(raw, &sum); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if sum.States == 0 || !sum.Exhausted {
+		t.Fatalf("implausible JSON summary: %+v", sum)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if code, _, _ := runMain(t, "-cores", "99"); code != 2 {
+		t.Fatal("invalid bounds must exit 2")
+	}
+	if code, _, _ := runMain(t, "-inject", "no-such-bug"); code != 2 {
+		t.Fatal("unknown -inject must exit 2")
+	}
+	if code, _, _ := runMain(t, "stray-arg"); code != 2 {
+		t.Fatal("positional arguments must exit 2")
+	}
+}

@@ -9,8 +9,11 @@
 // rules (see tools/analyzers/*) enforce the determinism contract from
 // DESIGN.md: no map-iteration-order dependence (detrange), no wall-clock or
 // ambient randomness (noclock), no cache-line protocol mutation outside
-// internal/memsys (statemut), and no unguarded trace emission on the
-// simulator fast path (tracegate).
+// internal/memsys (statemut), no unguarded trace emission on the
+// simulator fast path (tracegate) — plus the transactional-API rules: every
+// engine.Env Begin matched by Commit/Abort/Begin(0) with no escaping handles
+// (txbalance), and model-checker snapshot methods covering every field of
+// the structs they fingerprint (statefp).
 package main
 
 import (
@@ -22,15 +25,19 @@ import (
 	"hmtx/tools/analyzers/analysis"
 	"hmtx/tools/analyzers/detrange"
 	"hmtx/tools/analyzers/noclock"
+	"hmtx/tools/analyzers/statefp"
 	"hmtx/tools/analyzers/statemut"
 	"hmtx/tools/analyzers/tracegate"
+	"hmtx/tools/analyzers/txbalance"
 )
 
 var analyzers = []*analysis.Analyzer{
 	detrange.Analyzer,
 	noclock.Analyzer,
+	statefp.Analyzer,
 	statemut.Analyzer,
 	tracegate.Analyzer,
+	txbalance.Analyzer,
 }
 
 func main() {

@@ -1,0 +1,82 @@
+package check
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Counterexample is a property violation with the shortest stimulus sequence
+// that reproduces it from the initial (all-invalid, zero-memory) state.
+type Counterexample struct {
+	Property string     `json:"property"`
+	Detail   string     `json:"detail"`
+	Steps    []Stimulus `json:"steps"`
+	// Notes annotates each step from the verifying replay (conflict
+	// causes and induced aborts); empty strings for unremarkable steps.
+	Notes []string `json:"notes,omitempty"`
+}
+
+// Trace renders the stimulus sequence in the hmtxtrace layout: one numbered
+// line per step, `seq: kind: detail`.
+func (ce *Counterexample) Trace() string {
+	var b strings.Builder
+	for i, s := range ce.Steps {
+		fmt.Fprintf(&b, "%10d: %-8s: %s", i, s.Op.String(), s.String())
+		if i < len(ce.Notes) && ce.Notes[i] != "" {
+			fmt.Fprintf(&b, "  [%s]", ce.Notes[i])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// MarshalJSON renders the op as its mnemonic, keeping JSON reports readable.
+func (o Op) MarshalJSON() ([]byte, error) { return json.Marshal(o.String()) }
+
+// Summary is the result of one Run: the explored space and the verdict.
+type Summary struct {
+	Config Config `json:"config"`
+	// States is the number of distinct canonical states visited.
+	States int `json:"states"`
+	// Edges is the number of stimulus applications explored.
+	Edges int `json:"edges"`
+	// Depth is the largest BFS depth reached.
+	Depth int `json:"depth"`
+	// Exhausted reports that the reachable space was fully enumerated.
+	Exhausted bool `json:"exhausted"`
+	// Truncated reports that MaxStates stopped the search early.
+	Truncated bool `json:"truncated,omitempty"`
+	// Violation is the first (shortest-trace) property failure, or nil.
+	Violation *Counterexample `json:"violation,omitempty"`
+}
+
+// OK reports a clean verdict: no property violation found.
+func (s *Summary) OK() bool { return s.Violation == nil }
+
+// Text renders the summary deterministically for terminals and golden tests.
+func (s *Summary) Text() string {
+	var b strings.Builder
+	c := s.Config
+	fmt.Fprintf(&b, "hmtxcheck: cores=%d addrs=%d vids=%d store-vals=%d wrongpath=%t evict=%t l1ways=%d l2ways=%d",
+		c.Cores, c.Addrs, c.VIDs, c.StoreVals, c.WrongPath, c.Evict, c.L1Ways, c.L2Ways)
+	if c.InjectBug != "" {
+		fmt.Fprintf(&b, " inject=%s", c.InjectBug)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "states=%d edges=%d depth=%d exhausted=%t\n", s.States, s.Edges, s.Depth, s.Exhausted)
+	if s.Truncated {
+		fmt.Fprintf(&b, "search truncated at max-states=%d; the space was NOT exhausted\n", c.MaxStates)
+	}
+	if s.Violation == nil {
+		b.WriteString("result: ok — every reachable state satisfies all properties\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "result: VIOLATION of property %q\n  %s\n", s.Violation.Property, s.Violation.Detail)
+	fmt.Fprintf(&b, "counterexample (%d steps):\n", len(s.Violation.Steps))
+	b.WriteString(s.Violation.Trace())
+	return b.String()
+}
+
+// JSON renders the summary as deterministic indented JSON.
+func (s *Summary) JSON() ([]byte, error) { return json.MarshalIndent(s, "", "  ") }

@@ -1,0 +1,104 @@
+package check
+
+import (
+	"fmt"
+
+	"hmtx/internal/memsys"
+	"hmtx/internal/vid"
+)
+
+// Op is one kind of protocol stimulus the checker can apply to a state.
+type Op uint8
+
+// The stimulus alphabet (DESIGN.md §12). Loads and stores with VID 0 are
+// non-speculative; VIDs 1..Config.VIDs are speculative transactions.
+const (
+	OpLoad      Op = iota // Load by Core at Addr with VID
+	OpStore               // Store of Val by Core at Addr with VID
+	OpWrongPath           // squashed wrong-path load (§5.1) by Core at Addr with VID
+	OpCommit              // Commit of VID (always LC+1, §4.7)
+	OpAbortAll            // abort every uncommitted transaction (§4.4)
+	OpEvict               // forced eviction of Addr from Cache (capacity pressure)
+	OpVIDReset            // VID epoch reset (§4.6); legal once all VIDs committed
+)
+
+var opNames = [...]string{"load", "store", "wrongpath", "commit", "abort", "evict", "vidreset"}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// Stimulus is one nondeterministic protocol event: an edge label in the
+// explored state graph.
+type Stimulus struct {
+	Op    Op
+	Core  int // issuing core (OpLoad/OpStore/OpWrongPath)
+	Cache int // cache index (OpEvict): 0..Cores-1 the L1s, Cores the L2
+	Addr  memsys.Addr
+	VID   vid.V
+	Val   uint64 // stored value (OpStore)
+}
+
+// String renders the stimulus as the detail column of a trace line.
+func (s Stimulus) String() string {
+	switch s.Op {
+	case OpLoad, OpWrongPath:
+		return fmt.Sprintf("core %d line %#x vid %d", s.Core, s.Addr, s.VID)
+	case OpStore:
+		return fmt.Sprintf("core %d line %#x vid %d val %d", s.Core, s.Addr, s.VID, s.Val)
+	case OpCommit:
+		return fmt.Sprintf("vid %d", s.VID)
+	case OpEvict:
+		return fmt.Sprintf("cache %d line %#x", s.Cache, s.Addr)
+	default: // OpAbortAll, OpVIDReset
+		return ""
+	}
+}
+
+// enabled returns the stimuli applicable from a state with the given LC VID,
+// in a fixed enumeration order (the basis of the checker's determinism).
+// Speculative stimuli use only VIDs in (lc, VIDs]: lower VIDs have committed
+// and may not issue new accesses; aborted VIDs restart and are reused.
+func (c Config) enabled(lc vid.V, buf []Stimulus) []Stimulus {
+	buf = buf[:0]
+	for v := vid.V(0); v <= vid.V(c.VIDs); v++ {
+		if v != vid.NonSpec && v <= lc {
+			continue
+		}
+		for core := 0; core < c.Cores; core++ {
+			for ai := 0; ai < c.Addrs; ai++ {
+				a := addrOf(ai)
+				buf = append(buf, Stimulus{Op: OpLoad, Core: core, Addr: a, VID: v})
+				for val := uint64(1); val <= c.StoreVals; val++ {
+					buf = append(buf, Stimulus{Op: OpStore, Core: core, Addr: a, VID: v, Val: val})
+				}
+				if c.WrongPath && v != vid.NonSpec {
+					buf = append(buf, Stimulus{Op: OpWrongPath, Core: core, Addr: a, VID: v})
+				}
+			}
+		}
+	}
+	if int(lc) < c.VIDs {
+		buf = append(buf, Stimulus{Op: OpCommit, VID: lc + 1})
+	}
+	buf = append(buf, Stimulus{Op: OpAbortAll})
+	if c.Evict {
+		for ci := 0; ci <= c.Cores; ci++ {
+			for ai := 0; ai < c.Addrs; ai++ {
+				buf = append(buf, Stimulus{Op: OpEvict, Cache: ci, Addr: addrOf(ai)})
+			}
+		}
+	}
+	if int(lc) == c.VIDs {
+		buf = append(buf, Stimulus{Op: OpVIDReset})
+	}
+	return buf
+}
+
+// addrOf maps a bounded address index to a distinct line address. With the
+// single-set cache geometry the checker uses, all of them contend for the
+// same set, so version chains and evictions interact maximally.
+func addrOf(ai int) memsys.Addr { return memsys.Addr(ai) * memsys.LineSize }

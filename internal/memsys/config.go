@@ -61,7 +61,32 @@ type Config struct {
 	// the naive scheme of §4.4 (and of Vachharajani's proposal, §7.1).
 	// It exists for the lazy-vs-eager ablation.
 	EagerCommit bool
+
+	// InjectBug deliberately re-introduces a fixed protocol bug, selected
+	// by one of the Bug* constants below. It exists to validate the model
+	// checker (internal/check): a correct checker must find a
+	// counterexample for every injectable bug, and the checker's own test
+	// suite asserts exactly that. Empty means no injection.
+	InjectBug string
 }
+
+// Injectable protocol bugs: the two latent transition-table bugs found and
+// fixed while building MOESI-San. Each names the fix it disables.
+const (
+	// BugDupVersionOnMigrate re-breaks remote speculative loads served by
+	// a non-speculative owner: the migrated line is installed *before* its
+	// speculative-read transition, so a stale same-version S-S copy in the
+	// requester's L1 no longer merges with it and lingers as a duplicate
+	// that can double-serve its VID range.
+	BugDupVersionOnMigrate = "dup-version-on-migrate"
+
+	// BugStaleCopyOnConvert re-breaks in-place conversions of a line the
+	// requester's L1 already holds (speculative read upgrade, new-version
+	// store, same-version re-store): stale local S-S copies of the
+	// converted version are left resident instead of being dropped or
+	// range-capped, so they can serve VIDs that must observe newer data.
+	BugStaleCopyOnConvert = "stale-sscopy-on-convert"
+)
 
 // DefaultConfig returns the architectural configuration of Table 2:
 // 4 cores, 64KB 8-way L1s (2-cycle), a 32MB 32-way shared L2 (40-cycle),
@@ -98,6 +123,8 @@ func (c Config) validate() {
 		panic("memsys: invalid L2 geometry")
 	case c.VIDSpace.Bits == 0 || c.VIDSpace.Bits > 8:
 		panic("memsys: VID width must be in 1..8")
+	case c.InjectBug != "" && c.InjectBug != BugDupVersionOnMigrate && c.InjectBug != BugStaleCopyOnConvert:
+		panic("memsys: unknown InjectBug " + c.InjectBug)
 	}
 }
 

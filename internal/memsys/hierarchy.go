@@ -278,15 +278,22 @@ func (h *Hierarchy) localLoadMark(core int, l1 *cache, ln *Line, la Addr, a vid.
 			if h.tracer.Enabled(obs.CatBus) {
 				h.tracer.Emit(obs.Event{Kind: obs.KBusRequest, Core: int32(core), Addr: uint64(la), VID: uint64(a), Note: "upgrade"})
 			}
-			h.invalidateNonSpecCopies(la, ln)
-			if ln.St == Owned {
+			dirty := h.invalidateNonSpecCopies(la, ln)
+			if ln.St == Owned || dirty {
+				// The line (or a just-invalidated peer copy — a local
+				// Shared copy can coexist with a remote Owned one)
+				// holds data memory does not: the upgrade must land
+				// on Modified or the dirty data would be dropped on
+				// a clean eviction. Found by internal/check.
 				ln.St = Modified
 			} else {
 				ln.St = Exclusive
 			}
 		}
 		h.specReadTransition(ln, a)
-		dropLocalSpecSharedCopies(l1, ln)
+		if h.cfg.InjectBug != BugStaleCopyOnConvert {
+			dropLocalSpecSharedCopies(l1, ln)
+		}
 		h.trackLoad(core, la, res)
 	case ln.St.latest():
 		if a > ln.High {
@@ -315,6 +322,15 @@ func (h *Hierarchy) remoteLoadMark(core int, owner *Line, oc *cache, la Addr, a,
 			// the requester merges with the arriving owner instead
 			// of lingering and double-serving its VID range.
 			moved := h.migrate(la, owner, oc)
+			if h.cfg.InjectBug == BugDupVersionOnMigrate {
+				// Original PR 2 bug: install while still
+				// non-speculative (no merge with a resident S-S
+				// copy of version 0), then transition in place.
+				installed := h.install(l1, moved)
+				h.specReadTransition(installed, a)
+				h.trackLoad(core, la, res)
+				return
+			}
 			h.specReadTransition(&moved, a)
 			h.install(l1, moved)
 			h.trackLoad(core, la, res)
@@ -528,7 +544,9 @@ func (h *Hierarchy) Store(core int, addr Addr, val uint64, a vid.V) Result {
 		// transaction created it (§5.2 allows thread migration).
 		// S-S copies of this version elsewhere are now stale; capping
 		// their range at a empties it, so peers re-snoop.
-		h.capSpecSharedCopies(la, a, a, hit)
+		if h.cfg.InjectBug != BugStaleCopyOnConvert {
+			h.capSpecSharedCopies(la, a, a, hit)
+		}
 		if oc == l1 {
 			hit.SetWord(addr, val)
 			l1.touch(hit)
@@ -561,7 +579,9 @@ func (h *Hierarchy) Store(core int, addr Addr, val uint64, a vid.V) Result {
 				hit.High = a
 				hit.Epoch = h.epoch
 				hit.SettledLC = h.lc
-				dropLocalSpecSharedCopies(l1, hit)
+				if h.cfg.InjectBug != BugStaleCopyOnConvert {
+					dropLocalSpecSharedCopies(l1, hit)
+				}
 			} else {
 				moved := h.migrate(la, hit, oc)
 				moved.St = SpecOwned
@@ -747,14 +767,20 @@ func (h *Hierarchy) migrate(lineAddr Addr, owner *Line, oc *cache) Line {
 }
 
 // invalidateNonSpecCopies invalidates every non-speculative copy of lineAddr
-// except keep (a local upgrade, §4.2).
-func (h *Hierarchy) invalidateNonSpecCopies(lineAddr Addr, keep *Line) {
+// except keep (a local upgrade, §4.2). It reports whether any invalidated
+// copy was dirty, in which case the surviving line inherits responsibility
+// for the data and must end up in a dirty state.
+func (h *Hierarchy) invalidateNonSpecCopies(lineAddr Addr, keep *Line) (dirty bool) {
 	h.sweepVersions(lineAddr, func(_ *cache, v *Line) bool {
 		if v != keep && !v.St.Speculative() {
+			if v.St == Modified || v.St == Owned {
+				dirty = true
+			}
 			v.St = Invalid
 		}
 		return true
 	})
+	return dirty
 }
 
 // capSpecSharedCopies bounds every S-S copy of the version with modVID
@@ -915,6 +941,16 @@ func (h *Hierarchy) placeVictim(v Line, from *cache) {
 			h.tracer.Emit(obs.Event{Kind: obs.KSOWriteback, Core: -1, Addr: uint64(v.Tag), VID: uint64(v.High)})
 		}
 	default:
+		if v.St == SpecModified && v.Mod == 0 {
+			// The version was created before any speculative store
+			// (modVID 0), so its data is committed — and dirty, or the
+			// line would be S-E. The forced abort below erases the
+			// speculative read marks but must not lose the data: write
+			// it back first, as §5.4 does for non-speculative S-O
+			// copies. Found by internal/check.
+			h.mem.write(v.Tag, v.Data)
+			h.stats.MemWrites++
+		}
 		h.stats.OverflowAborts++
 		h.pendingOverflow = true
 		if h.tracer.Enabled(obs.CatOverflow) {

@@ -1,27 +1,20 @@
 package memsys
 
 // memory is the simulated main memory: a sparse map of 64-byte lines.
-// Absent lines read as zero, matching demand-zeroed pages.
+// Absent lines read as zero, matching demand-zeroed pages. Lines are stored
+// by value so that cloning the map (snapshot.go) shares no backing storage.
 type memory struct {
-	lines map[Addr]*[LineSize]byte
+	lines map[Addr][LineSize]byte
 }
 
-func newMemory() *memory { return &memory{lines: make(map[Addr]*[LineSize]byte)} }
+func newMemory() *memory { return &memory{lines: make(map[Addr][LineSize]byte)} }
 
 func (m *memory) read(lineAddr Addr) [LineSize]byte {
-	if p, ok := m.lines[lineAddr]; ok {
-		return *p
-	}
-	return [LineSize]byte{}
+	return m.lines[lineAddr]
 }
 
 func (m *memory) write(lineAddr Addr, data [LineSize]byte) {
-	p, ok := m.lines[lineAddr]
-	if !ok {
-		p = new([LineSize]byte)
-		m.lines[lineAddr] = p
-	}
-	*p = data
+	m.lines[lineAddr] = data
 }
 
 func (m *memory) word(addr Addr) uint64 {
@@ -40,13 +33,10 @@ func (m *memory) word(addr Addr) uint64 {
 
 func (m *memory) setWord(addr Addr, val uint64) {
 	la := LineAddr(addr)
-	p, ok := m.lines[la]
-	if !ok {
-		p = new([LineSize]byte)
-		m.lines[la] = p
-	}
+	p := m.lines[la]
 	off := addr - la
 	for i := 0; i < WordSize; i++ {
 		p[off+Addr(i)] = byte(val >> (8 * i))
 	}
+	m.lines[la] = p
 }

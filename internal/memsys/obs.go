@@ -44,6 +44,7 @@ func (h *Hierarchy) Register(r *obs.Registry, prefix string) {
 	g.CounterFunc("avoided_aborts", "false misspeculations avoided by SLAs (Table 1)", func() uint64 { return s.AvoidedAborts })
 	g.CounterFunc("so_writebacks", "non-speculative S-O lines overflowed to memory (§5.4)", func() uint64 { return s.SOWritebacks })
 	g.CounterFunc("overflow_aborts", "aborts forced by speculative LLC overflow (§5.4)", func() uint64 { return s.OverflowAborts })
+	g.CounterFunc("forced_evicts", "evictions injected by Hierarchy.Evict (model checker)", func() uint64 { return s.ForcedEvicts })
 	g.CounterFunc("commits", "transaction group commits (LC VID advances)", func() uint64 { return s.Commits })
 	g.CounterFunc("aborts", "abort sweeps", func() uint64 { return s.Aborts })
 	g.CounterFunc("vid_resets", "VID epoch resets (§4.6)", func() uint64 { return s.VIDResets })

@@ -638,3 +638,72 @@ func TestProtocolSanitizedEndToEnd(t *testing.T) {
 		t.Fatalf("final hierarchy violates invariants: %v", err)
 	}
 }
+
+// TestUpgradeKeepsRemoteDirtyData is a minimized regression for a protocol
+// bug found by the model checker (internal/check): the speculative-read
+// upgrade of a local Shared copy invalidated a remote dirty Owned copy but
+// landed in (Spec)Exclusive, claiming the stale memory image as current.
+// The upgrade must land dirty whenever an invalidated remote copy was M/O.
+//
+// Counterexample trace: store c0 v0 -> load c1 v0 -> load c1 v1.
+func TestUpgradeKeepsRemoteDirtyData(t *testing.T) {
+	h := newTestH(2)
+	mustStore(t, h, 0, addrA, 1, 0)
+	mustLoad(t, h, 1, addrA, 0)
+	wantStates(t, h, 0, addrA, "O(0,0)")
+	wantStates(t, h, 1, addrA, "S(0,0)")
+
+	// The speculative read upgrades L1.1's S copy; L1.0's dirty O copy is
+	// invalidated and its dirtiness must transfer to the upgraded line.
+	if got := mustLoad(t, h, 1, addrA, 1); got != 1 {
+		t.Fatalf("speculative load = %d, want 1", got)
+	}
+	wantStates(t, h, 0, addrA)
+	wantStates(t, h, 1, addrA, "S-M(0,1)")
+	if err := h.CheckInvariants(); err != nil {
+		t.Fatalf("upgrade left the hierarchy incoherent: %v", err)
+	}
+
+	// The committed value written by core 0 survives a full abort sweep.
+	h.AbortAll()
+	if got := mustLoad(t, h, 0, addrA, vid.NonSpec); got != 1 {
+		t.Fatalf("committed value lost by the upgrade: got %d, want 1", got)
+	}
+}
+
+// TestOverflowAbortPreservesCommittedData is a minimized regression for the
+// second checker-found bug: a latest speculative line whose modVID is 0
+// carries the pre-speculation *committed* dirty image. When such a line
+// overflows the last-level cache, the §5.4 overflow abort may discard the
+// speculative version — but the committed data underneath must be written
+// back first, or a committed store is lost without any transaction failing.
+//
+// Counterexample trace: store c0 v0 -> load c0 v1 -> evict L1.0 -> evict L2.
+func TestOverflowAbortPreservesCommittedData(t *testing.T) {
+	h := newTestH(2)
+	mustStore(t, h, 0, addrA, 1, 0)
+	mustLoad(t, h, 0, addrA, 1)
+	wantStates(t, h, 0, addrA, "S-M(0,1)")
+
+	if ok, res := h.Evict(0, addrA); !ok || res.Conflict {
+		t.Fatalf("L1 evict: ok=%t conflict=%t", ok, res.Conflict)
+	}
+	wantStates(t, h, 2, addrA, "S-M(0,1)")
+
+	// Evicting from the LLC has nowhere to spill: the speculative version
+	// overflows and aborts (§5.4), but the committed value must survive.
+	ok, res := h.Evict(2, addrA)
+	if !ok || !res.Conflict {
+		t.Fatalf("LLC evict must overflow-abort: ok=%t conflict=%t", ok, res.Conflict)
+	}
+	h.AbortAll() // the conflict demands an abort, as the engine would issue
+	if got := h.PeekWord(addrA); got != 1 {
+		t.Fatalf("committed value lost by overflow abort: got %d, want 1", got)
+	}
+	if got := mustLoad(t, h, 1, addrA, vid.NonSpec); got != 1 {
+		t.Fatalf("reload after overflow abort = %d, want 1", got)
+	}
+	if err := h.CheckInvariants(); err != nil {
+		t.Fatalf("hierarchy incoherent after overflow abort: %v", err)
+	}
+}

@@ -25,6 +25,7 @@ type Stats struct {
 	// Overflow handling (§5.4).
 	SOWritebacks   uint64 // non-speculative S-O lines legally overflowed to memory
 	OverflowAborts uint64 // aborts forced by speculative lines leaving the LLC
+	ForcedEvicts   uint64 // evictions injected by Hierarchy.Evict (model checker)
 
 	// Transaction lifecycle.
 	Commits   uint64

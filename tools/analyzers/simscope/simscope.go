@@ -11,6 +11,7 @@ import "strings"
 var SimPackages = map[string]bool{
 	"hmtx/internal/engine":      true,
 	"hmtx/internal/memsys":      true,
+	"hmtx/internal/check":       true,
 	"hmtx/internal/obs":         true,
 	"hmtx/internal/hmtx":        true,
 	"hmtx/internal/smtx":        true,

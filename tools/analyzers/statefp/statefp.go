@@ -1,0 +1,202 @@
+// Package statefp keeps the model checker's state snapshots honest: any
+// field added to a struct that participates in cloning or canonical
+// fingerprinting (internal/memsys/snapshot.go, internal/check) must also be
+// referenced by those methods, or the checker would silently explore a state
+// space that ignores the new field — merging states that differ in it and
+// missing bugs it can cause.
+//
+// A struct is "fingerprinted" if it has a method named Clone, clone,
+// cloneInto, AppendCanonical or appendCanon. Every field of such a struct
+// must be referenced — via a selector or a keyed composite literal — inside
+// the body of *some* designated method of the same package (not necessarily
+// its own: memsys canonicalizes Line.lru from the owning cache's method). A
+// field that is deliberately not part of the semantic state can be annotated
+// with a `statefp:ignore` comment on its declaration.
+package statefp
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"hmtx/tools/analyzers/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "statefp",
+	Doc:  "checks that every field of cloned/fingerprinted structs is referenced by the snapshot methods",
+	Run:  run,
+}
+
+// designated are the snapshot method names that define both which structs
+// are fingerprinted and where field references count as coverage.
+var designated = map[string]bool{
+	"Clone": true, "clone": true, "cloneInto": true,
+	"AppendCanonical": true, "appendCanon": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if strings.HasSuffix(pass.PkgPath, "_test") {
+		return nil, nil
+	}
+
+	// Pass 1: find the designated methods and the struct types they make
+	// fingerprinted.
+	var methods []*ast.FuncDecl
+	printed := map[*types.Struct]bool{} // struct types with a designated method
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || !designated[fd.Name.Name] || fd.Body == nil {
+				continue
+			}
+			methods = append(methods, fd)
+			if st := recvStruct(pass, fd); st != nil {
+				printed[st] = true
+			}
+		}
+	}
+	if len(methods) == 0 {
+		return nil, nil
+	}
+
+	// Pass 2: collect every field object referenced inside a designated
+	// method body — selectors (x.f) resolve through Selections, keyed
+	// composite literal fields (T{f: v}) through Uses.
+	covered := map[types.Object]bool{}
+	for _, m := range methods {
+		ast.Inspect(m.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if sel, ok := pass.TypesInfo.Selections[n]; ok && sel.Kind() == types.FieldVal {
+					covered[sel.Obj()] = true
+				}
+			case *ast.CompositeLit:
+				for _, el := range n.Elts {
+					kv, ok := el.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					if id, ok := kv.Key.(*ast.Ident); ok {
+						if obj := pass.TypesInfo.Uses[id]; obj != nil {
+							covered[obj] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 3: every field of every fingerprinted struct must be covered or
+	// explicitly opted out.
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				stExpr, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				def := pass.TypesInfo.Defs[ts.Name]
+				if def == nil {
+					continue
+				}
+				named, ok := def.Type().(*types.Named)
+				if !ok {
+					continue
+				}
+				st, ok := named.Underlying().(*types.Struct)
+				if !ok || !printed[st] {
+					continue
+				}
+				checkStruct(pass, ts.Name.Name, stExpr, st, covered)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// recvStruct resolves a method's receiver to its struct type, or nil.
+func recvStruct(pass *analysis.Pass, fd *ast.FuncDecl) *types.Struct {
+	if len(fd.Recv.List) == 0 {
+		return nil
+	}
+	tv, ok := pass.TypesInfo.Types[fd.Recv.List[0].Type]
+	if !ok {
+		return nil
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, _ := t.Underlying().(*types.Struct)
+	return st
+}
+
+func checkStruct(pass *analysis.Pass, name string, stExpr *ast.StructType, st *types.Struct, covered map[types.Object]bool) {
+	// Match AST fields to type-checker field objects by name.
+	objs := map[string]types.Object{}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		objs[f.Name()] = f
+	}
+	for _, f := range stExpr.Fields.List {
+		if ignored(f) {
+			continue
+		}
+		for _, id := range f.Names {
+			if id.Name == "_" {
+				continue
+			}
+			obj := objs[id.Name]
+			if obj == nil || covered[obj] {
+				continue
+			}
+			pass.Reportf(id.Pos(), "field %s of fingerprinted struct %s is not referenced by any clone/canonical method; include it in the snapshot or annotate it with statefp:ignore", id.Name, name)
+		}
+		if len(f.Names) == 0 {
+			// An embedded field is referenced through its type name.
+			if id := embeddedName(f.Type); id != "" {
+				if obj := objs[id]; obj != nil && !covered[obj] {
+					pass.Reportf(f.Pos(), "embedded field %s of fingerprinted struct %s is not referenced by any clone/canonical method; include it in the snapshot or annotate it with statefp:ignore", id, name)
+				}
+			}
+		}
+	}
+}
+
+func embeddedName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.StarExpr:
+		return embeddedName(e.X)
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	}
+	return ""
+}
+
+// ignored reports whether the field declaration carries a statefp:ignore
+// annotation in its doc or trailing comment.
+func ignored(f *ast.Field) bool {
+	for _, cg := range []*ast.CommentGroup{f.Doc, f.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, "statefp:ignore") {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package statefp_test
+
+import (
+	"testing"
+
+	"hmtx/tools/analyzers/analysis/analysistest"
+	"hmtx/tools/analyzers/statefp"
+)
+
+func TestStatefp(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), statefp.Analyzer, "fp")
+}

@@ -1,0 +1,66 @@
+package fp
+
+// snapshot is fully covered: clone references a and b, appendCanon covers c.
+type snapshot struct {
+	a int
+	b []byte
+	c uint64
+	d int // statefp:ignore — derived bookkeeping, not semantic state
+}
+
+func (s *snapshot) clone() *snapshot {
+	return &snapshot{a: s.a, b: append([]byte(nil), s.b...)}
+}
+
+func (s *snapshot) appendCanon(buf []byte) []byte {
+	buf = append(buf, byte(s.c))
+	return buf
+}
+
+// leaky has a field its Clone method forgot.
+type leaky struct {
+	kept    int
+	dropped int // want `field dropped of fingerprinted struct leaky is not referenced`
+}
+
+func (l *leaky) Clone() *leaky {
+	return &leaky{kept: l.kept}
+}
+
+// sibling coverage: a field may be canonicalized from another struct's
+// designated method, as memsys does for Line.lru from the cache encoder.
+type inner struct {
+	rank int
+}
+
+func (in *inner) clone() inner { return inner{} } // rank covered by outer.appendCanon
+
+type outer struct {
+	items []inner
+}
+
+func (o *outer) appendCanon(buf []byte) []byte {
+	for i := range o.items {
+		buf = append(buf, byte(o.items[i].rank))
+	}
+	return buf
+}
+
+// embedded fields must be covered through the embedded type name.
+type base struct {
+	x int
+}
+
+func (b *base) clone() base { return base{x: b.x} }
+
+type wrapper struct {
+	base // want `embedded field base of fingerprinted struct wrapper is not referenced`
+	y    int
+}
+
+func (w *wrapper) clone() wrapper { return wrapper{y: w.y} }
+
+// plain structs without designated methods are not checked.
+type plain struct {
+	anything int
+}

@@ -1,0 +1,455 @@
+// Package txbalance checks the transactional discipline of code driving
+// engine.Env: every transaction a function opens with Begin(seq) must be
+// closed — by Commit, Abort, or detaching with Begin(0) — on every path
+// before the function returns, and the Env handle itself must not escape the
+// synchronous scope it was handed to (Env methods may only be called from the
+// program's own goroutine; see internal/engine/env.go).
+//
+// The balance check is a conservative abstract interpretation over the
+// statement structure: the transaction state is closed, open, or maybe-open,
+// branches join states, and loops must leave the state as they found it (an
+// iteration that can exit open would double-Begin on the next pass or leak
+// the transaction out of the loop). A deferred Commit/Abort/Begin(0)
+// discharges the end-of-function obligation. Test files are exempt, like
+// detrange: engine tests intentionally exercise unbalanced sequences.
+package txbalance
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"hmtx/tools/analyzers/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "txbalance",
+	Doc:  "checks that every engine.Env Begin is matched by Commit/Abort/Begin(0) on all paths and that Env handles do not escape",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if strings.HasSuffix(pass.PkgPath, "internal/engine") {
+		// The engine itself constructs Env handles and hands them to the
+		// program goroutines it launches; the single-goroutine rule is a
+		// contract it enforces on clients, not one it is subject to.
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		name := pass.Fset.Position(file.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		var walk func(n ast.Node) bool
+		walk = func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkFunc(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				checkFunc(pass, fn.Body)
+			}
+			return true
+		}
+		ast.Inspect(file, walk)
+		checkEscapes(pass, file)
+	}
+	return nil, nil
+}
+
+// Transaction states of the abstract interpretation.
+type st uint8
+
+const (
+	closed st = iota // no transaction open
+	open             // a Begin(seq) is unmatched
+	maybe            // open on some paths
+	dead             // unreachable (after return/panic/break/continue)
+)
+
+func join(a, b st) st {
+	switch {
+	case a == dead:
+		return b
+	case b == dead:
+		return a
+	case a == b:
+		return a
+	default:
+		return maybe
+	}
+}
+
+// checker tracks the interpretation of one function body. Nested function
+// literals are separate scopes checked independently.
+type checker struct {
+	pass *analysis.Pass
+	// openPos remembers where the possibly-unmatched Begin happened, for
+	// the diagnostic.
+	openPos token.Pos
+	// deferred reports that a deferred call closes the transaction at
+	// function exit, discharging return-path obligations.
+	deferred bool
+	// loops carries the state joined from break statements of the
+	// innermost for/switch/select nesting.
+	breaks []st
+}
+
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	c := &checker{pass: pass}
+	for _, s := range body.List {
+		if d, ok := s.(*ast.DeferStmt); ok && closesCall(pass, d.Call) {
+			c.deferred = true
+		}
+	}
+	out := c.block(body, closed)
+	if out == open || out == maybe {
+		if !c.deferred {
+			pass.Reportf(c.openPos, "transaction opened by Begin may still be open when the function returns; close it with Commit, Abort or Begin(0)")
+		}
+	}
+}
+
+func (c *checker) block(b *ast.BlockStmt, cur st) st {
+	for _, s := range b.List {
+		cur = c.stmt(s, cur)
+	}
+	return cur
+}
+
+func (c *checker) stmt(s ast.Stmt, cur st) st {
+	if cur == dead {
+		return dead
+	}
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return c.block(s, cur)
+	case *ast.ExprStmt, *ast.AssignStmt, *ast.DeclStmt, *ast.SendStmt, *ast.IncDecStmt:
+		return c.scanCalls(s, cur)
+	case *ast.ReturnStmt:
+		cur = c.scanCalls(s, cur)
+		if (cur == open || cur == maybe) && !c.deferred {
+			c.pass.Reportf(s.Pos(), "return with a transaction still open; close it with Commit, Abort or Begin(0)")
+		}
+		return dead
+	case *ast.IfStmt:
+		if s.Init != nil {
+			cur = c.scanCalls(s.Init, cur)
+		}
+		cur = c.scanCalls(s.Cond, cur)
+		thenOut := c.block(s.Body, cur)
+		elseOut := cur
+		if s.Else != nil {
+			elseOut = c.stmt(s.Else, cur)
+		}
+		return join(thenOut, elseOut)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			cur = c.scanCalls(s.Init, cur)
+		}
+		if s.Cond != nil {
+			cur = c.scanCalls(s.Cond, cur)
+		}
+		return c.loopBody(s.Body, cur, s.Cond == nil)
+	case *ast.RangeStmt:
+		cur = c.scanCalls(s.X, cur)
+		return c.loopBody(s.Body, cur, false)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return c.branches(s, cur)
+	case *ast.BranchStmt:
+		// break/continue/goto end this path; break feeds the enclosing
+		// construct's join. (goto is treated as path-terminating, which
+		// is unsound in general but goto is absent from this codebase.)
+		if s.Tok == token.BREAK {
+			c.breaks = append(c.breaks, cur)
+		} else if s.Tok == token.CONTINUE && cur != closed {
+			// A continue with the transaction open re-enters the loop
+			// body in a state it was not checked under.
+			c.reportLoop(s.Pos())
+		}
+		return dead
+	case *ast.LabeledStmt:
+		return c.stmt(s.Stmt, cur)
+	case *ast.GoStmt:
+		// The spawned body runs on another goroutine; Env use inside it
+		// is reported by checkEscapes, not interpreted here.
+		return cur
+	case *ast.DeferStmt:
+		return cur
+	default:
+		return c.scanCalls(s, cur)
+	}
+}
+
+// loopBody interprets a loop body: an iteration must leave the transaction
+// state exactly as it found it, or consecutive iterations (and the code after
+// the loop) observe an unchecked state. infinite marks `for {` loops, whose
+// only exits are breaks.
+func (c *checker) loopBody(body *ast.BlockStmt, cur st, infinite bool) st {
+	savedBreaks := c.breaks
+	c.breaks = nil
+	out := c.block(body, cur)
+	if out != dead && out != cur {
+		c.reportLoop(body.Pos())
+	}
+	after := dead
+	if !infinite {
+		after = cur
+	}
+	for _, b := range c.breaks {
+		after = join(after, b)
+	}
+	c.breaks = savedBreaks
+	return after
+}
+
+func (c *checker) reportLoop(pos token.Pos) {
+	c.pass.Reportf(pos, "loop iteration may leave a transaction open; every Begin must be matched by Commit, Abort or Begin(0) within the iteration")
+}
+
+// branches joins the outcomes of a switch/select's cases. A missing default
+// (or non-exhaustive switch) keeps the entry state as a possible outcome.
+func (c *checker) branches(s ast.Stmt, cur st) st {
+	var bodyList []ast.Stmt
+	hasDefault := false
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			cur = c.scanCalls(s.Init, cur)
+		}
+		if s.Tag != nil {
+			cur = c.scanCalls(s.Tag, cur)
+		}
+		bodyList = s.Body.List
+	case *ast.TypeSwitchStmt:
+		bodyList = s.Body.List
+	case *ast.SelectStmt:
+		bodyList = s.Body.List
+	}
+	savedBreaks := c.breaks
+	c.breaks = nil
+	out := dead
+	for _, cl := range bodyList {
+		var stmts []ast.Stmt
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			if cl.List == nil {
+				hasDefault = true
+			}
+			stmts = cl.Body
+		case *ast.CommClause:
+			if cl.Comm == nil {
+				hasDefault = true
+			}
+			stmts = cl.Body
+		}
+		caseOut := cur
+		for _, cs := range stmts {
+			caseOut = c.stmt(cs, caseOut)
+		}
+		out = join(out, caseOut)
+	}
+	if _, isSelect := s.(*ast.SelectStmt); !hasDefault && !isSelect {
+		out = join(out, cur) // a switch without default may skip every case
+	}
+	for _, b := range c.breaks {
+		out = join(out, b)
+	}
+	c.breaks = savedBreaks
+	return out
+}
+
+// scanCalls applies every Begin/Commit/Abort call appearing in the node, in
+// traversal order, skipping nested function literals (separate scopes). A
+// call to panic terminates the path.
+func (c *checker) scanCalls(n ast.Node, cur st) st {
+	if n == nil {
+		return cur
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+			cur = dead
+			return true
+		}
+		switch envCallKind(c.pass, call) {
+		case kindOpen:
+			if cur == open || cur == maybe {
+				c.pass.Reportf(call.Pos(), "Begin while a transaction may already be open; close the previous one first")
+			}
+			if cur != dead {
+				cur = open
+				c.openPos = call.Pos()
+			}
+		case kindClose:
+			if cur != dead {
+				cur = closed
+			}
+		}
+		return true
+	})
+	return cur
+}
+
+type callKind int
+
+const (
+	kindNone callKind = iota
+	kindOpen
+	kindClose
+)
+
+// envCallKind classifies a call: Begin with a non-zero sequence opens a
+// transaction; Commit, Abort, and Begin(0) (the detach idiom) close one.
+func envCallKind(pass *analysis.Pass, call *ast.CallExpr) callKind {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return kindNone
+	}
+	recv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok || !isEnvType(recv.Type) {
+		return kindNone
+	}
+	switch sel.Sel.Name {
+	case "Commit", "Abort":
+		return kindClose
+	case "Begin":
+		if len(call.Args) == 1 {
+			if tv, ok := pass.TypesInfo.Types[call.Args[0]]; ok && tv.Value != nil && tv.Value.String() == "0" {
+				return kindClose
+			}
+		}
+		return kindOpen
+	}
+	return kindNone
+}
+
+// closesCall reports whether a deferred call closes a transaction.
+func closesCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	return envCallKind(pass, call) == kindClose
+}
+
+// isEnvType reports whether t is engine.Env or a pointer to it.
+func isEnvType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Env" && obj.Pkg() != nil && strings.HasSuffix(obj.Pkg().Path(), "internal/engine")
+}
+
+// checkEscapes reports Env handles leaving the synchronous scope they were
+// handed to: captured by a goroutine, returned, stored into a struct, slice,
+// map, global or channel. Env methods are only legal from the program's own
+// goroutine, and a stored handle outlives the transaction scope the balance
+// check reasons about.
+func checkEscapes(pass *analysis.Pass, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			reportEnvRefs(pass, n, "engine.Env handle captured by a goroutine; Env methods may only be called from the program's own goroutine")
+			return false
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if isEnvExpr(pass, r) {
+					pass.Reportf(r.Pos(), "engine.Env handle returned; the handle must not outlive the program function it was passed to")
+				}
+			}
+		case *ast.SendStmt:
+			if isEnvExpr(pass, n.Value) {
+				pass.Reportf(n.Value.Pos(), "engine.Env handle sent on a channel; the handle must not cross goroutines")
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				if !isEnvExpr(pass, n.Rhs[i]) {
+					continue
+				}
+				if storesBeyondScope(pass, lhs) {
+					pass.Reportf(n.Rhs[i].Pos(), "engine.Env handle stored outside the transaction scope; keep the handle in locals")
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				v := el
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if isEnvExpr(pass, v) {
+					pass.Reportf(v.Pos(), "engine.Env handle stored in a composite literal; keep the handle in locals")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// reportEnvRefs reports each Env-typed object referenced inside n but
+// declared outside it (a capture), once per object.
+func reportEnvRefs(pass *analysis.Pass, n ast.Node, msg string) {
+	seen := map[types.Object]bool{}
+	ast.Inspect(n, func(m ast.Node) bool {
+		id, ok := m.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil || seen[obj] || !isEnvType(obj.Type()) {
+			return true
+		}
+		if obj.Pos() >= n.Pos() && obj.Pos() < n.End() {
+			return true // declared inside the goroutine; stays there
+		}
+		seen[obj] = true
+		pass.Reportf(id.Pos(), "%s", msg)
+		return true
+	})
+}
+
+func isEnvExpr(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && isEnvType(tv.Type)
+}
+
+// storesBeyondScope reports whether assigning to lhs makes the value outlive
+// the enclosing function: a package-level variable, a struct field, or an
+// element of a slice or map.
+func storesBeyondScope(pass *analysis.Pass, lhs ast.Expr) bool {
+	switch lhs := lhs.(type) {
+	case *ast.Ident:
+		obj := pass.TypesInfo.Defs[lhs]
+		if obj == nil {
+			obj = pass.TypesInfo.Uses[lhs]
+		}
+		if v, ok := obj.(*types.Var); ok {
+			return v.Parent() == v.Pkg().Scope()
+		}
+		return false
+	case *ast.SelectorExpr:
+		sel, ok := pass.TypesInfo.Selections[lhs]
+		if ok && sel.Kind() == types.FieldVal {
+			return true
+		}
+		// A qualified package-level identifier (pkg.Var).
+		return !ok
+	case *ast.IndexExpr:
+		return true
+	case *ast.StarExpr:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package txbalance_test
+
+import (
+	"testing"
+
+	"hmtx/tools/analyzers/analysis/analysistest"
+	"hmtx/tools/analyzers/txbalance"
+)
+
+func TestTxbalance(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), txbalance.Analyzer, "txb")
+}
