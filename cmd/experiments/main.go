@@ -4,15 +4,17 @@
 // Usage:
 //
 //	experiments [-scale N] [-cores N] [-parallel N] [-only fig8,table1,...]
-//	            [-ablations] [-json BENCH_run.json]
+//	            [-ablations] [-json BENCH_run.json] [-prof PROF_run.json]
 //	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // With no -only list it runs everything: Figure 1, Figure 2, Table 1,
 // Table 2, Figure 8, Figure 9 and Table 3, plus the design-choice ablations
 // when -ablations is set. -json additionally writes the raw measurements as
 // a deterministic "hmtx-bench/v1" document (see EXPERIMENTS.md for how to
-// diff two of them); the document is byte-identical at every -parallel
-// setting.
+// diff two of them); -prof attaches the cycle-attribution profiler to every
+// simulation and writes the suite's profiles as an "hmtx-prof/v1" document
+// (inspect or diff them with cmd/hmtxprof). Both documents are byte-identical
+// at every -parallel setting.
 package main
 
 import (
@@ -26,6 +28,7 @@ import (
 	"strings"
 
 	"hmtx/internal/experiments"
+	"hmtx/internal/prof"
 )
 
 func main() {
@@ -38,6 +41,7 @@ func main() {
 	ablations := flag.Bool("ablations", false, "also run the design-choice ablations")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	jsonOut := flag.String("json", "", "write the raw measurements as deterministic JSON to this file")
+	profOut := flag.String("prof", "", "profile every simulation and write the hmtx-prof/v1 document to this file")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
@@ -68,7 +72,7 @@ func main() {
 		}()
 	}
 
-	cfg := experiments.Config{Scale: *scale, Cores: *cores, Parallelism: *parallel}
+	cfg := experiments.Config{Scale: *scale, Cores: *cores, Parallelism: *parallel, Profile: *profOut != ""}
 	want := map[string]bool{}
 	for _, k := range strings.Split(*only, ",") {
 		if k = strings.TrimSpace(k); k != "" {
@@ -84,7 +88,7 @@ func main() {
 		fmt.Println(experiments.Fig1(*cores))
 	}
 
-	needSuite := *jsonOut != "" ||
+	needSuite := *jsonOut != "" || *profOut != "" ||
 		pick("fig2") || pick("fig8") || pick("fig9") || pick("table1") || pick("table3")
 	if needSuite {
 		var progress io.Writer = os.Stderr
@@ -98,6 +102,18 @@ func main() {
 				log.Fatal(err)
 			}
 			if err := experiments.WriteJSON(f, experiments.BuildDoc(cfg, results)); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if *profOut != "" {
+			f, err := os.Create(*profOut)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := prof.WriteDoc(f, experiments.BuildProfDoc(cfg, results)); err != nil {
 				log.Fatal(err)
 			}
 			if err := f.Close(); err != nil {

@@ -10,8 +10,9 @@
 // DESIGN.md: no map-iteration-order dependence (detrange), no wall-clock or
 // ambient randomness (noclock), no cache-line protocol mutation outside
 // internal/memsys (statemut), no unguarded trace emission on the
-// simulator fast path (tracegate) — plus the transactional-API rules: every
-// engine.Env Begin matched by Commit/Abort/Begin(0) with no escaping handles
+// simulator fast path (tracegate), no unguarded profiler charges there
+// either (profgate) — plus the transactional-API rules: every engine.Env
+// Begin matched by Commit/Abort/Begin(0) with no escaping handles
 // (txbalance), and model-checker snapshot methods covering every field of
 // the structs they fingerprint (statefp).
 package main
@@ -25,6 +26,7 @@ import (
 	"hmtx/tools/analyzers/analysis"
 	"hmtx/tools/analyzers/detrange"
 	"hmtx/tools/analyzers/noclock"
+	"hmtx/tools/analyzers/profgate"
 	"hmtx/tools/analyzers/statefp"
 	"hmtx/tools/analyzers/statemut"
 	"hmtx/tools/analyzers/tracegate"
@@ -34,6 +36,7 @@ import (
 var analyzers = []*analysis.Analyzer{
 	detrange.Analyzer,
 	noclock.Analyzer,
+	profgate.Analyzer,
 	statefp.Analyzer,
 	statemut.Analyzer,
 	tracegate.Analyzer,

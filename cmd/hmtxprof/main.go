@@ -1,0 +1,142 @@
+// Command hmtxprof inspects and compares hmtx-prof/v1 cycle-attribution
+// profiles written by hmtxsim -prof-out or experiments -prof.
+//
+// Usage:
+//
+//	hmtxprof show profile.json            pretty-print every profile
+//	hmtxprof diff old.json new.json       per-bucket deltas, old vs new
+//	hmtxprof fold profile.json            folded stacks (flamegraph input)
+//
+// show renders each profile's bucket table (with per-core columns), its
+// contention heatmap and its re-execution records. diff pairs profiles by
+// label — or directly, when both documents hold exactly one profile — and
+// prints each bucket's cycle delta and share shift, which is how the HMTX vs
+// SMTX validation/commit overhead trade (§6) reads off two profile files.
+// fold emits "label;coreN;bucket cycles" lines for flamegraph tooling.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"hmtx/internal/prof"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func usage(stderr io.Writer) int {
+	fmt.Fprint(stderr, "usage: hmtxprof show FILE | diff OLD NEW | fold FILE\n")
+	return 2
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fail := func(format string, a ...any) int {
+		fmt.Fprintf(stderr, "hmtxprof: "+format+"\n", a...)
+		return 1
+	}
+	if len(args) < 1 {
+		return usage(stderr)
+	}
+	switch args[0] {
+	case "show":
+		if len(args) != 2 {
+			return usage(stderr)
+		}
+		doc, err := readDoc(args[1])
+		if err != nil {
+			return fail("%v", err)
+		}
+		for i := range doc.Profiles {
+			p := &doc.Profiles[i]
+			if err := p.CheckInvariant(); err != nil {
+				return fail("%v", err)
+			}
+			if i > 0 {
+				fmt.Fprintln(stdout)
+			}
+			fmt.Fprint(stdout, p.Text())
+		}
+		return 0
+
+	case "diff":
+		if len(args) != 3 {
+			return usage(stderr)
+		}
+		oldDoc, err := readDoc(args[1])
+		if err != nil {
+			return fail("%v", err)
+		}
+		newDoc, err := readDoc(args[2])
+		if err != nil {
+			return fail("%v", err)
+		}
+		pairs, err := pair(oldDoc, newDoc)
+		if err != nil {
+			return fail("%v", err)
+		}
+		for i, pr := range pairs {
+			if i > 0 {
+				fmt.Fprintln(stdout)
+			}
+			fmt.Fprint(stdout, prof.DiffText(pr[0], pr[1]))
+		}
+		return 0
+
+	case "fold":
+		if len(args) != 2 {
+			return usage(stderr)
+		}
+		doc, err := readDoc(args[1])
+		if err != nil {
+			return fail("%v", err)
+		}
+		if err := prof.WriteFolded(stdout, doc); err != nil {
+			return fail("%v", err)
+		}
+		return 0
+	}
+	return usage(stderr)
+}
+
+func readDoc(path string) (prof.Doc, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return prof.Doc{}, err
+	}
+	defer f.Close()
+	return prof.ReadDoc(f)
+}
+
+// pair matches old and new profiles for diffing. Two single-profile documents
+// pair directly whatever their labels (the hmtxsim HMTX-vs-SMTX use case);
+// otherwise profiles pair by label, in the old document's order, and labels
+// present on only one side are an error so a diff never silently drops a
+// workload.
+func pair(oldDoc, newDoc prof.Doc) ([][2]*prof.Profile, error) {
+	if len(oldDoc.Profiles) == 1 && len(newDoc.Profiles) == 1 {
+		return [][2]*prof.Profile{{&oldDoc.Profiles[0], &newDoc.Profiles[0]}}, nil
+	}
+	byLabel := make(map[string]*prof.Profile, len(newDoc.Profiles))
+	for i := range newDoc.Profiles {
+		byLabel[newDoc.Profiles[i].Label] = &newDoc.Profiles[i]
+	}
+	var pairs [][2]*prof.Profile
+	for i := range oldDoc.Profiles {
+		p := &oldDoc.Profiles[i]
+		np, ok := byLabel[p.Label]
+		if !ok {
+			return nil, fmt.Errorf("profile %q exists only in the old document", p.Label)
+		}
+		delete(byLabel, p.Label)
+		pairs = append(pairs, [2]*prof.Profile{p, np})
+	}
+	for i := range newDoc.Profiles {
+		if _, stray := byLabel[newDoc.Profiles[i].Label]; stray {
+			return nil, fmt.Errorf("profile %q exists only in the new document", newDoc.Profiles[i].Label)
+		}
+	}
+	return pairs, nil
+}

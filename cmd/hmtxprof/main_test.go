@@ -1,0 +1,136 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hmtx/internal/prof"
+)
+
+func writeDoc(t *testing.T, dir, name string, profiles ...prof.Profile) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := prof.Doc{Schema: prof.Schema, Scale: 1, Cores: 2, Profiles: profiles}
+	if err := prof.WriteDoc(f, doc); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func profileWith(label string, buckets map[prof.Bucket]int64) prof.Profile {
+	c := prof.New()
+	var total int64
+	for b, v := range buckets {
+		c.Charge(0, 1, b, v)
+		total += v
+	}
+	c.CoreDone(0, total)
+	c.RunEnd(total, false, 1)
+	parts := strings.SplitN(label, "/", 2)
+	return c.Snapshot(parts[0], parts[1], "DOALL", 0)
+}
+
+func TestShowDiffFold(t *testing.T) {
+	dir := t.TempDir()
+	a := writeDoc(t, dir, "a.json",
+		profileWith("wl/hmtx", map[prof.Bucket]int64{prof.Compute: 100, prof.Commit: 30}))
+	b := writeDoc(t, dir, "b.json",
+		profileWith("wl/smtx-max", map[prof.Bucket]int64{prof.Compute: 100, prof.Validation: 250}))
+
+	var out, errb bytes.Buffer
+	if code := run([]string{"show", a}, &out, &errb); code != 0 {
+		t.Fatalf("show exited %d: %s", code, errb.String())
+	}
+	for _, frag := range []string{"wl/hmtx", "compute", "commit"} {
+		if !strings.Contains(out.String(), frag) {
+			t.Errorf("show output missing %q:\n%s", frag, out.String())
+		}
+	}
+
+	// Single-profile documents diff directly even with different labels:
+	// the HMTX-vs-SMTX comparison.
+	out.Reset()
+	if code := run([]string{"diff", a, b}, &out, &errb); code != 0 {
+		t.Fatalf("diff exited %d: %s", code, errb.String())
+	}
+	for _, frag := range []string{"wl/hmtx -> wl/smtx-max", "validation", "+250", "commit", "-30"} {
+		if !strings.Contains(out.String(), frag) {
+			t.Errorf("diff output missing %q:\n%s", frag, out.String())
+		}
+	}
+
+	out.Reset()
+	if code := run([]string{"fold", a}, &out, &errb); code != 0 {
+		t.Fatalf("fold exited %d: %s", code, errb.String())
+	}
+	want := "wl/hmtx;core0;compute 100\nwl/hmtx;core0;commit 30\n"
+	if out.String() != want {
+		t.Errorf("fold output %q, want %q", out.String(), want)
+	}
+}
+
+func TestDiffPairsByLabel(t *testing.T) {
+	dir := t.TempDir()
+	p1 := profileWith("w1/hmtx", map[prof.Bucket]int64{prof.Compute: 10})
+	p2 := profileWith("w2/hmtx", map[prof.Bucket]int64{prof.Compute: 20})
+	p2b := profileWith("w2/hmtx", map[prof.Bucket]int64{prof.Compute: 25})
+	p1b := profileWith("w1/hmtx", map[prof.Bucket]int64{prof.Compute: 15})
+
+	a := writeDoc(t, dir, "a.json", p1, p2)
+	// Reversed order in the new document: pairing is by label, output
+	// follows the old document's order.
+	b := writeDoc(t, dir, "b.json", p2b, p1b)
+	var out, errb bytes.Buffer
+	if code := run([]string{"diff", a, b}, &out, &errb); code != 0 {
+		t.Fatalf("diff exited %d: %s", code, errb.String())
+	}
+	w1 := strings.Index(out.String(), "w1/hmtx")
+	w2 := strings.Index(out.String(), "w2/hmtx")
+	if w1 < 0 || w2 < 0 || w1 > w2 {
+		t.Errorf("diff order wrong (w1 at %d, w2 at %d):\n%s", w1, w2, out.String())
+	}
+
+	// A label on only one side is an error, not a silent drop.
+	c := writeDoc(t, dir, "c.json", p1)
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"diff", a, c}, &out, &errb); code != 1 {
+		t.Fatalf("diff with missing label exited %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "w2/hmtx") {
+		t.Errorf("error does not name the unmatched label: %s", errb.String())
+	}
+}
+
+func TestBadUsageAndSchema(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Errorf("no args exited %d, want 2", code)
+	}
+	if code := run([]string{"frobnicate"}, &out, &errb); code != 2 {
+		t.Errorf("unknown subcommand exited %d, want 2", code)
+	}
+
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":"hmtx-bench/v1"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	errb.Reset()
+	if code := run([]string{"show", bad}, &out, &errb); code != 1 {
+		t.Errorf("wrong schema exited %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "schema") {
+		t.Errorf("error does not mention the schema: %s", errb.String())
+	}
+}

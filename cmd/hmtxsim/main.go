@@ -9,14 +9,22 @@
 //	        [-sanitize]
 //	        [-trace] [-trace-cats bus,txn,...] [-trace-out trace.json]
 //	        [-stats] [-stats-json stats.json]
+//	        [-prof] [-prof-out prof.json] [-prof-folded prof.folded]
 //	        [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Observability (DESIGN.md §10): -trace streams a gem5-style text log of the
 // selected event categories to stdout; -trace-out writes the same events as
 // Chrome trace_event JSON (load in chrome://tracing or Perfetto). -stats
 // dumps the hierarchical statistics registry as an aligned table; -stats-json
-// writes the run summary plus the full registry as deterministic JSON. All
-// outputs are byte-identical across runs of the same configuration.
+// writes the run summary plus the full registry as deterministic JSON.
+//
+// Profiling (DESIGN.md §13): -prof attributes every simulated cycle of every
+// core to a bucket (compute, cache/memory latency by level, bus contention,
+// commit, stalls, validation, abort, wasted re-execution) and prints the
+// attribution tables; -prof-out writes the profile as an "hmtx-prof/v1"
+// document for cmd/hmtxprof, and -prof-folded writes folded stacks for
+// flamegraph tooling. All outputs are byte-identical across runs of the same
+// configuration.
 //
 // hmtxsim -list prints the available benchmarks.
 package main
@@ -34,6 +42,7 @@ import (
 	"hmtx/internal/hmtx"
 	"hmtx/internal/obs"
 	"hmtx/internal/paradigm"
+	"hmtx/internal/prof"
 	"hmtx/internal/smtx"
 	"hmtx/internal/vid"
 	"hmtx/internal/workloads"
@@ -86,6 +95,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	traceOut := fs.String("trace-out", "", "write the event trace as Chrome trace_event JSON to this file")
 	statsText := fs.Bool("stats", false, "dump the statistics registry as an aligned table")
 	statsJSON := fs.String("stats-json", "", "write the run summary and statistics registry as JSON to this file")
+	profText := fs.Bool("prof", false, "attribute every simulated cycle to a bucket and print the profile")
+	profOut := fs.String("prof-out", "", "write the cycle profile as an hmtx-prof/v1 document to this file")
+	profFolded := fs.String("prof-folded", "", "write the cycle profile as folded stacks (flamegraph input) to this file")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write an allocation profile to this file on exit")
 	list := fs.Bool("list", false, "list benchmarks and exit")
@@ -211,6 +223,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		target.Mem.Register(reg, "memsys")
 	}
 
+	if *profText || *profOut != "" || *profFolded != "" {
+		target.SetProf(prof.New())
+	}
+
 	// Sequential reference for the speedup.
 	loop := spec.New(*scale)
 	loop.Setup(seqSys.Mem)
@@ -309,6 +325,46 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		if err := os.WriteFile(*statsJSON, append(buf, '\n'), 0o644); err != nil {
 			return fail("%v", err)
+		}
+	}
+
+	if target.Prof().Enabled() {
+		pk := kind
+		if *system == "seq" {
+			pk = paradigm.Sequential
+		}
+		p := target.Prof().Snapshot(spec.Name, *system, pk.String(), 0)
+		if err := p.CheckInvariant(); err != nil {
+			return fail("%v", err)
+		}
+		doc := prof.Doc{Schema: prof.Schema, Scale: *scale, Cores: *cores, Profiles: []prof.Profile{p}}
+		if *profText {
+			fmt.Fprintln(stdout)
+			fmt.Fprint(stdout, p.Text())
+		}
+		if *profOut != "" {
+			f, err := os.Create(*profOut)
+			if err != nil {
+				return fail("%v", err)
+			}
+			if err := prof.WriteDoc(f, doc); err != nil {
+				return fail("%v", err)
+			}
+			if err := f.Close(); err != nil {
+				return fail("%v", err)
+			}
+		}
+		if *profFolded != "" {
+			f, err := os.Create(*profFolded)
+			if err != nil {
+				return fail("%v", err)
+			}
+			if err := prof.WriteFolded(f, doc); err != nil {
+				return fail("%v", err)
+			}
+			if err := f.Close(); err != nil {
+				return fail("%v", err)
+			}
 		}
 	}
 	return 0

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"hmtx/internal/memsys"
+	"hmtx/internal/prof"
 	"hmtx/internal/vid"
 )
 
@@ -31,6 +32,9 @@ type request struct {
 	q     int
 	site  uint64
 	taken bool
+	// tag is the profiler bucket for reqCompute work; the zero value is
+	// prof.Compute, so only overhead charges (ComputeValidation) set it.
+	tag prof.Bucket
 }
 
 type response struct {
@@ -85,6 +89,18 @@ func (e *Env) Compute(n int64) {
 		return
 	}
 	e.rpc(request{kind: reqCompute, val: uint64(n)})
+}
+
+// ComputeValidation charges n cycles like Compute, but attributes them to the
+// profiler's validation bucket. The SMTX baseline uses it for the software
+// costs HMTX moves into hardware — validation-record logging, forwarding, and
+// commit-process replay (§2, §6) — so a profile diff against HMTX shows the
+// overhead shift directly.
+func (e *Env) ComputeValidation(n int64) {
+	if n <= 0 {
+		return
+	}
+	e.rpc(request{kind: reqCompute, val: uint64(n), tag: prof.Validation})
 }
 
 // Branch models a conditional branch at the given site. A misprediction

@@ -6,6 +6,7 @@ import (
 
 	"hmtx/internal/memsys"
 	"hmtx/internal/obs"
+	"hmtx/internal/prof"
 	"hmtx/internal/vid"
 )
 
@@ -143,7 +144,8 @@ type System struct {
 	stats Stats
 	nLive int
 
-	tracer *obs.Tracer // nil when tracing is disabled (obs.go)
+	tracer *obs.Tracer     // nil when tracing is disabled (obs.go)
+	prof   *prof.Collector // nil when profiling is disabled (prof.go)
 
 	// Histograms registered by Register (obs.go); nil until then.
 	histCommitLat *obs.Histogram
@@ -253,6 +255,11 @@ func (s *System) Run(programs []Program) RunResult {
 		s.tracer.SetTime(cycles)
 		s.tracer.Emit(obs.Event{Kind: obs.KRunEnd, Core: -1, Arg: uint64(cycles), Note: s.abortCause})
 	}
+	if s.prof.Enabled() {
+		// The run's outcome is known: fold this run's charges, moving
+		// work done for rolled-back transactions to the wasted bucket.
+		s.prof.RunEnd(cycles, s.abortCause != "", uint64(s.lastCommitted))
+	}
 	return RunResult{
 		Cycles:        cycles,
 		Aborted:       s.abortCause != "",
@@ -318,6 +325,11 @@ func (s *System) handle(c *core, r request) {
 		c.done = true
 		c.finish = c.time
 		s.nLive--
+		if s.prof.Enabled() {
+			// Sum-to-total invariant: every cycle of this core's clock
+			// must have been charged to a bucket (panics on a gap).
+			s.prof.CoreDone(c.id, c.time)
+		}
 		return
 	}
 	if s.aborting {
@@ -329,8 +341,14 @@ func (s *System) handle(c *core, r request) {
 		hw := s.hwVID(c.curSeq)
 		busBefore := s.Mem.Stats().BusMessages
 		val, res := s.Mem.Load(c.id, r.addr, hw)
-		s.charge(c, res.Lat, s.Mem.Stats().BusMessages-busBefore)
+		busWait := s.charge(c, res.Lat, s.Mem.Stats().BusMessages-busBefore)
 		s.stats.Instructions++
+		if s.prof.Enabled() {
+			if busWait > 0 {
+				s.prof.Charge(c.id, uint64(c.curSeq), prof.Bus, busWait)
+			}
+			s.prof.ChargeLine(c.id, uint64(c.curSeq), srcBucket(res.Src), res.Lat, memsys.LineAddr(r.addr))
+		}
 		c.pushRecent(r.addr)
 		if res.Conflict {
 			s.triggerAbort(res.Cause, c)
@@ -342,8 +360,14 @@ func (s *System) handle(c *core, r request) {
 		hw := s.hwVID(c.curSeq)
 		busBefore := s.Mem.Stats().BusMessages
 		res := s.Mem.Store(c.id, r.addr, r.val, hw)
-		s.charge(c, res.Lat, s.Mem.Stats().BusMessages-busBefore)
+		busWait := s.charge(c, res.Lat, s.Mem.Stats().BusMessages-busBefore)
 		s.stats.Instructions++
+		if s.prof.Enabled() {
+			if busWait > 0 {
+				s.prof.Charge(c.id, uint64(c.curSeq), prof.Bus, busWait)
+			}
+			s.prof.ChargeLine(c.id, uint64(c.curSeq), srcBucket(res.Src), res.Lat, memsys.LineAddr(r.addr))
+		}
 		c.pushRecent(r.addr)
 		if res.Conflict {
 			s.triggerAbort(res.Cause, c)
@@ -354,6 +378,9 @@ func (s *System) handle(c *core, r request) {
 	case reqCompute:
 		c.time += int64(r.val)
 		s.stats.Instructions += r.val
+		if s.prof.Enabled() {
+			s.prof.Charge(c.id, uint64(c.curSeq), r.tag, int64(r.val))
+		}
 		c.resp <- response{}
 
 	case reqBranch:
@@ -411,6 +438,9 @@ func (s *System) handle(c *core, r request) {
 	case reqClose:
 		s.queue(r.q).closed = true
 		c.time += s.cfg.QueueOpCost
+		if s.prof.Enabled() {
+			s.prof.Charge(c.id, uint64(c.curSeq), prof.Compute, s.cfg.QueueOpCost)
+		}
 		if s.tracer.Enabled(obs.CatQueue) {
 			s.tracer.SetTime(c.time)
 			s.tracer.Emit(obs.Event{Kind: obs.KQueueClose, Core: int32(c.id), Arg: uint64(r.q)})
@@ -439,17 +469,21 @@ func (s *System) handle(c *core, r request) {
 // charge advances the core's clock by lat cycles; if the operation used the
 // shared bus, the core first arbitrates for it and occupies it for
 // busOps transactions, serialising concurrent misses from different cores.
-func (s *System) charge(c *core, lat int64, busOps uint64) {
+// It returns the cycles spent waiting for bus arbitration (zero when the bus
+// was free or unused), so the profiler can split contention from latency.
+func (s *System) charge(c *core, lat int64, busOps uint64) int64 {
 	if busOps > 0 {
 		start := c.time
 		if s.busFreeAt > start {
 			start = s.busFreeAt
 		}
 		s.busFreeAt = start + int64(busOps)*s.cfg.BusOccupancy
+		wait := start - c.time
 		c.time = start + lat
-		return
+		return wait
 	}
 	c.time += lat
+	return 0
 }
 
 func (s *System) queue(id int) *queue {
@@ -465,17 +499,26 @@ func (s *System) doProduce(c *core, q *queue, val uint64) {
 	q.items = append(q.items, qItem{val: val, ready: c.time + s.cfg.QueueLat})
 	c.time += s.cfg.QueueOpCost
 	s.stats.Instructions++
+	if s.prof.Enabled() {
+		s.prof.Charge(c.id, uint64(c.curSeq), prof.Compute, s.cfg.QueueOpCost)
+	}
 }
 
 func (s *System) doConsume(c *core, q *queue) uint64 {
 	it := q.items[0]
 	q.items = q.items[1:]
 	if it.ready > c.time {
+		if s.prof.Enabled() {
+			s.prof.Charge(c.id, uint64(c.curSeq), prof.QueueWait, it.ready-c.time)
+		}
 		c.time = it.ready
 	}
 	c.time += s.cfg.QueueOpCost
 	q.lastPopTime = c.time
 	s.stats.Instructions++
+	if s.prof.Enabled() {
+		s.prof.Charge(c.id, uint64(c.curSeq), prof.Compute, s.cfg.QueueOpCost)
+	}
 	return it.val
 }
 
@@ -495,11 +538,19 @@ func (s *System) begin(c *core, r request) bool {
 			}
 			res := s.Mem.VIDReset()
 			c.time += res.Lat
+			if s.prof.Enabled() {
+				// Epoch machinery, not any one transaction's work:
+				// charge to seq 0 so it never folds into wasted.
+				s.prof.Charge(c.id, 0, prof.CommitStall, res.Lat)
+			}
 		}
 	}
 	c.curSeq = r.seq
 	c.time++ // the beginMTX instruction itself
 	s.stats.Instructions++
+	if s.prof.Enabled() {
+		s.prof.Charge(c.id, uint64(r.seq), prof.Compute, 1)
+	}
 	if r.seq != 0 {
 		t := s.tx(r.seq)
 		if !t.begun {
@@ -517,6 +568,9 @@ func (s *System) doCommit(c *core, seq vid.Seq) {
 	res := s.Mem.Commit(s.hwVID(seq))
 	c.time += res.Lat
 	s.stats.Instructions++
+	if s.prof.Enabled() {
+		s.prof.Charge(c.id, uint64(seq), prof.Commit, res.Lat)
+	}
 	s.lastCommitted = seq
 	if c.time > s.lastCommitTime {
 		s.lastCommitTime = c.time
@@ -561,11 +615,17 @@ func (s *System) branch(c *core, r request) bool {
 	s.stats.Branches++
 	s.stats.Instructions++
 	c.time++
+	if s.prof.Enabled() {
+		s.prof.Charge(c.id, uint64(c.curSeq), prof.Compute, 1)
+	}
 	ctr := c.pred[r.site]
 	predictTaken := ctr >= 2
 	if predictTaken != r.taken {
 		s.stats.Mispredicts++
 		c.time += s.cfg.MispredictPenalty
+		if s.prof.Enabled() {
+			s.prof.Charge(c.id, uint64(c.curSeq), prof.Compute, s.cfg.MispredictPenalty)
+		}
 		// Squashed wrong-path loads execute before the misprediction
 		// is discovered (§5.1). They pull data through the caches but,
 		// with SLAs, never mark lines.
@@ -606,6 +666,11 @@ func (s *System) branch(c *core, r request) bool {
 func (s *System) triggerAbort(cause string, c *core) {
 	res := s.Mem.AbortAll()
 	c.time += res.Lat
+	if s.prof.Enabled() {
+		// Charged to seq 0: the rollback sweep itself is machine
+		// overhead, distinct from the wasted re-execution it causes.
+		s.prof.Charge(c.id, 0, prof.Abort, res.Lat)
+	}
 	s.aborting = true
 	s.abortCause = cause
 	switch obs.AbortClass(cause) {
@@ -674,6 +739,9 @@ func (s *System) retryParked(live []*core) {
 				if len(q.items) < s.cfg.QueueCap {
 					c.parked = parkNone
 					if q.lastPopTime > c.time {
+						if s.prof.Enabled() {
+							s.prof.Charge(c.id, uint64(c.curSeq), prof.QueueWait, q.lastPopTime-c.time)
+						}
 						c.time = q.lastPopTime
 					}
 					s.doProduce(c, q, r.val)
@@ -689,6 +757,9 @@ func (s *System) retryParked(live []*core) {
 				if r.seq == s.lastCommitted+1 {
 					c.parked = parkNone
 					if s.lastCommitTime > c.time {
+						if s.prof.Enabled() {
+							s.prof.Charge(c.id, uint64(r.seq), prof.CommitStall, s.lastCommitTime-c.time)
+						}
 						c.time = s.lastCommitTime
 					}
 					stall := c.time - c.parkedAt
@@ -709,6 +780,9 @@ func (s *System) retryParked(live []*core) {
 				if s.lastCommitted >= r.seq {
 					c.parked = parkNone
 					if s.lastCommitTime > c.time {
+						if s.prof.Enabled() {
+							s.prof.Charge(c.id, 0, prof.CommitStall, s.lastCommitTime-c.time)
+						}
 						c.time = s.lastCommitTime
 					}
 					c.resp <- response{}
@@ -721,6 +795,9 @@ func (s *System) retryParked(live []*core) {
 				if s.lastCommitted >= firstOfEpoch {
 					c.parked = parkNone
 					if s.lastCommitTime > c.time {
+						if s.prof.Enabled() {
+							s.prof.Charge(c.id, 0, prof.CommitStall, s.lastCommitTime-c.time)
+						}
 						c.time = s.lastCommitTime
 					}
 					if s.begin(c, r) {

@@ -18,6 +18,7 @@ import (
 	"hmtx/internal/memsys"
 	"hmtx/internal/paradigm"
 	"hmtx/internal/power"
+	"hmtx/internal/prof"
 	"hmtx/internal/smtx"
 	"hmtx/internal/stats"
 	"hmtx/internal/workloads"
@@ -35,6 +36,11 @@ type Config struct {
 	// engine.System, so the simulated results are identical at any setting;
 	// 1 runs the suite serially as before, 0 means GOMAXPROCS.
 	Parallelism int
+	// Profile attaches a cycle-attribution profiler to every simulation
+	// and fills the BenchResult *Prof fields. Each unit owns its collector,
+	// so profiles — like all other results — are identical at any
+	// Parallelism.
+	Profile bool
 }
 
 // Default returns the evaluation configuration.
@@ -61,6 +67,11 @@ type BenchResult struct {
 	// SMTX results are only present when Spec.HasSMTX.
 	SMTXMinOut, SMTXMaxOut hmtx.Outcome
 	SMTXMinAct, SMTXMaxAct power.Activity
+
+	// Cycle-attribution profiles, only present when Config.Profile is set
+	// (and, for the SMTX pair, when Spec.HasSMTX).
+	SeqProf, HMTXProf       *prof.Profile
+	SMTXMinProf, SMTXMaxProf *prof.Profile
 }
 
 // HotSpeedupHMTX returns the hot-loop speedup of HMTX over sequential.
@@ -98,36 +109,58 @@ func activity(cycles int64, eng *engine.Stats, mem *memsys.Stats) power.Activity
 // runSeq measures the sequential baseline, writing only the Seq* fields.
 func runSeq(cfg Config, r *BenchResult) {
 	sys := engine.New(cfg.engineConfig())
+	if cfg.Profile {
+		sys.SetProf(prof.New())
+	}
 	loop := r.Spec.New(cfg.Scale)
 	loop.Setup(sys.Mem)
 	r.SeqCycles = paradigm.RunSequential(sys, loop)
 	r.SeqAct = activity(r.SeqCycles, sys.Stats(), sys.Mem.Stats())
+	r.SeqProf = snapshot(sys, r, "seq", paradigm.Sequential)
+}
+
+// snapshot captures the system's profile (nil when profiling is off).
+func snapshot(sys *engine.System, r *BenchResult, system string, kind paradigm.Kind) *prof.Profile {
+	if !sys.Prof().Enabled() {
+		return nil
+	}
+	p := sys.Prof().Snapshot(r.Spec.Name, system, kind.String(), 0)
+	return &p
 }
 
 // runHMTX measures HMTX with maximal validation — every load and store inside
 // every transaction is validated (§6.1) — writing only the HMTX* fields.
 func runHMTX(cfg Config, r *BenchResult) {
 	sys := engine.New(cfg.engineConfig())
+	if cfg.Profile {
+		sys.SetProf(prof.New())
+	}
 	loop := r.Spec.New(cfg.Scale)
 	loop.Setup(sys.Mem)
 	r.HMTXOut = hmtx.Run(sys, loop, r.Spec.Paradigm, cfg.Cores)
 	r.HMTXEng = *sys.Stats()
 	r.HMTXMem = *sys.Mem.Stats()
 	r.HMTXAct = activity(r.HMTXOut.Cycles, sys.Stats(), sys.Mem.Stats())
+	r.HMTXProf = snapshot(sys, r, "hmtx", r.Spec.Paradigm)
 }
 
 // runSMTX measures SMTX with the given read/write-set mode, writing only the
 // corresponding SMTX* fields.
 func runSMTX(cfg Config, r *BenchResult, mode smtx.Mode) {
 	sys := engine.New(cfg.engineConfig())
+	if cfg.Profile {
+		sys.SetProf(prof.New())
+	}
 	loop := r.Spec.New(cfg.Scale)
 	loop.Setup(sys.Mem)
 	out := smtx.Run(sys, loop, r.Spec.Paradigm, cfg.Cores, mode, smtx.DefaultConfig())
 	act := activity(out.Cycles, sys.Stats(), sys.Mem.Stats())
 	if mode == smtx.MaxSet {
 		r.SMTXMaxOut, r.SMTXMaxAct = out, act
+		r.SMTXMaxProf = snapshot(sys, r, "smtx-max", r.Spec.Paradigm)
 	} else {
 		r.SMTXMinOut, r.SMTXMinAct = out, act
+		r.SMTXMinProf = snapshot(sys, r, "smtx-min", r.Spec.Paradigm)
 	}
 }
 

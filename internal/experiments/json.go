@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"hmtx/internal/hmtx"
+	"hmtx/internal/prof"
 	"hmtx/internal/stats"
 )
 
@@ -97,4 +98,21 @@ func WriteJSON(w io.Writer, doc Doc) error {
 	buf = append(buf, '\n')
 	_, err = w.Write(buf)
 	return err
+}
+
+// BuildProfDoc collects the suite's cycle-attribution profiles into one
+// hmtx-prof/v1 document, in spec order with the per-benchmark system order
+// seq, hmtx, smtx-min, smtx-max. Results from a Config without Profile set
+// produce an empty profile list.
+func BuildProfDoc(cfg Config, results []BenchResult) prof.Doc {
+	doc := prof.Doc{Schema: prof.Schema, Scale: cfg.Scale, Cores: cfg.Cores}
+	for i := range results {
+		r := &results[i]
+		for _, p := range []*prof.Profile{r.SeqProf, r.HMTXProf, r.SMTXMinProf, r.SMTXMaxProf} {
+			if p != nil {
+				doc.Profiles = append(doc.Profiles, *p)
+			}
+		}
+	}
+	return doc
 }

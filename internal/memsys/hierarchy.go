@@ -5,6 +5,7 @@ import (
 	"math/bits"
 
 	"hmtx/internal/obs"
+	"hmtx/internal/prof"
 	"hmtx/internal/vid"
 )
 
@@ -26,7 +27,8 @@ type Hierarchy struct {
 	lruClock uint64
 	stats    Stats
 	tracker  Tracker
-	tracer   *obs.Tracer // nil when tracing is disabled (obs.go)
+	tracer   *obs.Tracer     // nil when tracing is disabled (obs.go)
+	prof     *prof.Collector // nil when profiling is disabled (prof.go)
 
 	// gen is the coherence generation, bumped whenever (epoch, lc) moves or
 	// an abort sweep rewrites lines. Each cache set records the generation
@@ -132,6 +134,23 @@ func (h *Hierarchy) LC() vid.V { return h.lc }
 // CurrentEpoch returns the current VID epoch.
 func (h *Hierarchy) CurrentEpoch() uint64 { return h.epoch }
 
+// Src identifies the level of the hierarchy that served an operation, for
+// latency attribution (internal/prof).
+type Src uint8
+
+const (
+	// SrcL1 is a hit in the requester's own L1 (the default: operations
+	// that abort before being served also report SrcL1, matching their
+	// L1-lookup latency).
+	SrcL1 Src = iota
+	// SrcPeer is a transfer from a peer core's L1 over the bus.
+	SrcPeer
+	// SrcL2 is a hit in the shared L2.
+	SrcL2
+	// SrcMem is a fill from main memory.
+	SrcMem
+)
+
 // Result reports the outcome of a memory-system operation.
 type Result struct {
 	// Lat is the operation latency in cycles.
@@ -144,6 +163,8 @@ type Result struct {
 	// NeedsSLA reports that this speculative load must send a
 	// speculative load acknowledgment when its branch resolves (§5.1).
 	NeedsSLA bool
+	// Src is the hierarchy level that served the operation.
+	Src Src
 }
 
 // allCaches returns every cache (L1s in core order, then the L2). The slice
@@ -215,8 +236,13 @@ func (h *Hierarchy) load(core int, addr Addr, a vid.V, mark bool) (uint64, Resul
 		if oc == h.l2 {
 			res.Lat += h.cfg.L2Lat
 			h.stats.L2Hits++
+			res.Src = SrcL2
 		} else {
 			h.stats.PeerTransfers++
+			res.Src = SrcPeer
+			if h.prof.Enabled() {
+				h.prof.LinePeer(la)
+			}
 		}
 		oc.hits++
 		val := owner.Word(addr)
@@ -228,6 +254,7 @@ func (h *Hierarchy) load(core int, addr Addr, a vid.V, mark bool) (uint64, Resul
 	// Missed every cache: fill from main memory.
 	res.Lat += h.cfg.L2Lat + h.cfg.MemLat
 	h.stats.MemReads++
+	res.Src = SrcMem
 	data := h.mem.read(la)
 	var val uint64
 	{
@@ -465,6 +492,9 @@ func (h *Hierarchy) Store(core int, addr Addr, val uint64, a vid.V) Result {
 	if maxHigh > eff {
 		res.Conflict = true
 		res.Cause = fmt.Sprintf("store vid %d to line %#x already accessed by vid %d", a, la, maxHigh)
+		if h.prof.Enabled() {
+			h.prof.LineConflict(la)
+		}
 		return res
 	}
 
@@ -492,9 +522,14 @@ func (h *Hierarchy) Store(core int, addr Addr, val uint64, a vid.V) Result {
 		case oc == h.l2:
 			res.Lat += h.cfg.L2Lat
 			h.stats.L2Hits++
+			res.Src = SrcL2
 			oc.hits++
 		default:
 			h.stats.PeerTransfers++
+			res.Src = SrcPeer
+			if h.prof.Enabled() {
+				h.prof.LinePeer(la)
+			}
 			oc.hits++
 		}
 	}
@@ -504,6 +539,7 @@ func (h *Hierarchy) Store(core int, addr Addr, val uint64, a vid.V) Result {
 	if fromMem {
 		res.Lat += h.cfg.L2Lat + h.cfg.MemLat
 		h.stats.MemReads++
+		res.Src = SrcMem
 		data = h.mem.read(la)
 	} else {
 		data = hit.Data
@@ -618,6 +654,9 @@ func (h *Hierarchy) SLA(core int, addr Addr, a vid.V, expected uint64) Result {
 	if val != expected {
 		res.Conflict = true
 		res.Cause = fmt.Sprintf("SLA mismatch at %#x vid %d: loaded %#x, now %#x", addr, a, expected, val)
+		if h.prof.Enabled() {
+			h.prof.LineConflict(LineAddr(addr))
+		}
 	}
 	return res
 }
@@ -953,6 +992,9 @@ func (h *Hierarchy) placeVictim(v Line, from *cache) {
 		}
 		h.stats.OverflowAborts++
 		h.pendingOverflow = true
+		if h.prof.Enabled() {
+			h.prof.LineOverflow(v.Tag)
+		}
 		if h.tracer.Enabled(obs.CatOverflow) {
 			h.tracer.Emit(obs.Event{Kind: obs.KOverflowAbort, Core: -1, Addr: uint64(v.Tag), VID: uint64(v.Mod)})
 		}

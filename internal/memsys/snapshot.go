@@ -37,6 +37,7 @@ func (h *Hierarchy) Clone() *Hierarchy {
 		pres:            make(map[Addr]uint64, len(h.pres)),
 		tracker:         nil,
 		tracer:          nil,
+		prof:            nil,
 		histLoadLat:     nil,
 		histStoreLat:    nil,
 		san:             sanitizer{},

@@ -138,6 +138,173 @@ func TestChromeSinkValidDeterministicJSON(t *testing.T) {
 	}
 }
 
+func TestChromeSinkEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewChromeSink(&buf)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string            `json:"displayTimeUnit"`
+		TraceEvents     []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("empty trace is not valid JSON: %v\n%s", err, buf.Bytes())
+	}
+	if len(doc.TraceEvents) != 0 {
+		t.Fatalf("empty trace has %d events", len(doc.TraceEvents))
+	}
+	if doc.DisplayTimeUnit != "ns" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+}
+
+func TestChromeSinkNameEscaping(t *testing.T) {
+	// Span notes become event names verbatim; quotes, backslashes, newlines
+	// and non-ASCII must survive the JSON round trip.
+	hostile := "span \"q\" \\back\nnewline\tµ"
+	var buf bytes.Buffer
+	tr := NewTracer(CatAll, 0)
+	tr.Attach(NewChromeSink(&buf))
+	tr.SetTime(10)
+	tr.Emit(Event{Kind: KSpanBegin, Core: 0, Note: hostile})
+	tr.SetTime(20)
+	tr.Emit(Event{Kind: KSpanEnd, Core: 0, Note: hostile})
+	tr.SetTime(30)
+	tr.Emit(Event{Kind: KTxAbort, Core: 0, VID: 1, Note: "cause with \"quotes\""})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Args struct {
+				Note string `json:"note"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("hostile names broke the JSON: %v\n%s", err, buf.Bytes())
+	}
+	if len(doc.TraceEvents) != 3 {
+		t.Fatalf("got %d events, want 3", len(doc.TraceEvents))
+	}
+	for _, i := range []int{0, 1} {
+		if doc.TraceEvents[i].Name != hostile {
+			t.Errorf("event %d name = %q, want %q", i, doc.TraceEvents[i].Name, hostile)
+		}
+	}
+	if got := doc.TraceEvents[2].Args.Note; got != "cause with \"quotes\"" {
+		t.Errorf("abort note = %q", got)
+	}
+}
+
+func TestChromeSinkCategoryFiltering(t *testing.T) {
+	// The tracer's mask gates what reaches the sink: with only CatTxn
+	// enabled, bus and engine-span events must not appear in the trace.
+	var buf bytes.Buffer
+	tr := NewTracer(CatTxn, 0)
+	tr.Attach(NewChromeSink(&buf))
+	tr.SetTime(10)
+	tr.Emit(Event{Kind: KTxBegin, Core: 0, VID: 1})
+	tr.Emit(Event{Kind: KBusRequest, Core: 0, Addr: 0x40, Note: "load"})
+	tr.Emit(Event{Kind: KSpanBegin, Core: 0, Note: "validate"})
+	tr.SetTime(20)
+	tr.Emit(Event{Kind: KTxCommit, Core: 0, VID: 1, Arg: 10})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Cat  string `json:"cat"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.Bytes())
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("got %d events, want 2 (txn only): %s", len(doc.TraceEvents), buf.Bytes())
+	}
+	for _, e := range doc.TraceEvents {
+		if e.Cat != "txn" {
+			t.Errorf("event %q leaked category %q through a txn-only mask", e.Name, e.Cat)
+		}
+	}
+}
+
+func TestTxCollectorAbortRecommit(t *testing.T) {
+	tr := NewTracer(CatAll, 0)
+	col := NewTxCollector()
+	tr.Attach(col)
+
+	// Run 1: VID 1 commits, VIDs 2 and 3 are in flight when the run aborts.
+	tr.SetTime(100)
+	tr.Emit(Event{Kind: KTxBegin, Core: 0, VID: 1})
+	tr.SetTime(110)
+	tr.Emit(Event{Kind: KTxBegin, Core: 1, VID: 2})
+	tr.SetTime(120)
+	tr.Emit(Event{Kind: KTxBegin, Core: 2, VID: 3})
+	tr.SetTime(150)
+	tr.Emit(Event{Kind: KTxCommit, Core: 0, VID: 1, Arg: 50})
+	tr.SetTime(200)
+	tr.Emit(Event{Kind: KTxAbort, Core: 1, VID: 2, Note: "store vid 2 to line 0x40 already accessed by vid 3"})
+
+	// Run 2: both re-execute and commit.
+	tr.SetTime(210)
+	tr.Emit(Event{Kind: KTxBegin, Core: 1, VID: 2})
+	tr.SetTime(220)
+	tr.Emit(Event{Kind: KTxBegin, Core: 2, VID: 3})
+	tr.SetTime(300)
+	tr.Emit(Event{Kind: KTxCommit, Core: 1, VID: 2, Arg: 90})
+	tr.SetTime(320)
+	tr.Emit(Event{Kind: KTxCommit, Core: 2, VID: 3, Arg: 100})
+
+	aborted := col.Aborted()
+	if len(aborted) != 2 {
+		t.Fatalf("aborted attempts = %+v, want 2 records", aborted)
+	}
+	// First-begin order within the abort, stamped with the abort cycle.
+	if aborted[0].VID != 2 || aborted[1].VID != 3 {
+		t.Fatalf("aborted order = %d,%d, want 2,3", aborted[0].VID, aborted[1].VID)
+	}
+	for _, a := range aborted {
+		if !a.Aborted || a.AbortCycle != 200 || a.Attempt != 1 {
+			t.Fatalf("aborted record = %+v", a)
+		}
+		if a.CommitCycle != 0 {
+			t.Fatalf("aborted record has a commit: %+v", a)
+		}
+	}
+
+	committed := col.Committed()
+	if len(committed) != 3 {
+		t.Fatalf("committed = %+v, want 3", committed)
+	}
+	// VID 1 committed on its first attempt; 2 and 3 on their second.
+	wantAttempt := map[uint64]int{1: 1, 2: 2, 3: 2}
+	for _, c := range committed {
+		if c.Aborted {
+			t.Fatalf("committed record marked aborted: %+v", c)
+		}
+		if c.Attempt != wantAttempt[c.VID] {
+			t.Errorf("vid %d committed on attempt %d, want %d", c.VID, c.Attempt, wantAttempt[c.VID])
+		}
+	}
+
+	s := col.Summary()
+	if s.Committed != 3 || s.Aborts != 1 || s.AbortedAttempts != 2 || s.RecommittedTxs != 2 {
+		t.Fatalf("summary = %+v", s)
+	}
+	out := s.String()
+	for _, want := range []string{"aborted tx attempts", "txs recommitted after abort"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary table missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestRegistrySnapshotTextAndJSON(t *testing.T) {
 	r := NewRegistry()
 	g := r.Group("memsys").Group("l1[0]")

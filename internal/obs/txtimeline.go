@@ -21,30 +21,61 @@ type TxTimeline struct {
 	// StallCycles is the time spent parked waiting for the preceding
 	// transaction to commit (in-order group commit, §4.7).
 	StallCycles int64
+	// Attempt numbers the VID's execution attempts from 1. A transaction
+	// that aborts and later recommits yields one Aborted record per
+	// rolled-back attempt plus a final committed record, all sharing the
+	// VID but with increasing Attempt.
+	Attempt int
+	// Aborted marks a rolled-back attempt; AbortCycle is the cycle of the
+	// run abort that discarded it. Committed records leave both zero.
+	Aborted    bool
+	AbortCycle int64
 }
 
 // TxCollector is a trace sink that derives per-transaction timelines and an
 // abort attribution from the event stream. Attach it to a Tracer whose mask
 // includes CatTxn and CatCommit.
 type TxCollector struct {
-	open      map[uint64]*TxTimeline
+	open map[uint64]*TxTimeline
+	// openVIDs holds the open map's keys in first-begin order so that the
+	// abort sweep never ranges over the map (determinism contract). Entries
+	// whose VID has since committed are stale and skipped.
+	openVIDs  []uint64
 	committed []TxTimeline
+	aborted   []TxTimeline
+	attempts  map[uint64]int    // VID -> execution attempts seen so far
 	aborts    map[string]uint64 // AbortClass -> count
 	abortN    uint64
 }
 
 // NewTxCollector returns an empty collector.
 func NewTxCollector() *TxCollector {
-	return &TxCollector{open: make(map[uint64]*TxTimeline), aborts: make(map[string]uint64)}
+	return &TxCollector{
+		open:     make(map[uint64]*TxTimeline),
+		attempts: make(map[uint64]int),
+		aborts:   make(map[string]uint64),
+	}
 }
 
 // Emit consumes one event.
 func (c *TxCollector) Emit(e Event) {
 	switch e.Kind {
 	case KTxBegin:
-		// A re-begin of the same VID after an abort restarts the record.
-		if t, ok := c.open[e.VID]; !ok || t.BeginCycle > e.Cycle {
-			c.open[e.VID] = &TxTimeline{VID: e.VID, BeginCore: e.Core, BeginCycle: e.Cycle}
+		t, ok := c.open[e.VID]
+		switch {
+		case !ok:
+			// First begin of a fresh attempt (either the VID's first
+			// execution or its re-execution after a run abort).
+			c.attempts[e.VID]++
+			c.open[e.VID] = &TxTimeline{
+				VID: e.VID, BeginCore: e.Core, BeginCycle: e.Cycle,
+				Attempt: c.attempts[e.VID],
+			}
+			c.openVIDs = append(c.openVIDs, e.VID)
+		case t.BeginCycle > e.Cycle:
+			// Another core's earlier begin of the same attempt (DSWP
+			// stages share a VID): keep the earliest, same attempt.
+			t.BeginCore, t.BeginCycle = e.Core, e.Cycle
 		}
 	case KCommitResume:
 		if t, ok := c.open[e.VID]; ok {
@@ -53,7 +84,8 @@ func (c *TxCollector) Emit(e Event) {
 	case KTxCommit:
 		t, ok := c.open[e.VID]
 		if !ok {
-			t = &TxTimeline{VID: e.VID}
+			c.attempts[e.VID]++
+			t = &TxTimeline{VID: e.VID, Attempt: c.attempts[e.VID]}
 		}
 		t.CommitCore = e.Core
 		t.CommitCycle = e.Cycle
@@ -63,8 +95,20 @@ func (c *TxCollector) Emit(e Event) {
 	case KTxAbort:
 		c.aborts[AbortClass(e.Note)]++
 		c.abortN++
-		// Uncommitted transactions roll back; drop their open records.
+		// The run rolls back: every still-open transaction is a discarded
+		// attempt. Record it (rather than silently dropping it) so a VID
+		// that aborts and later recommits surfaces once per attempt.
+		for _, v := range c.openVIDs {
+			t, ok := c.open[v]
+			if !ok {
+				continue // committed since it was begun
+			}
+			t.Aborted = true
+			t.AbortCycle = e.Cycle
+			c.aborted = append(c.aborted, *t)
+		}
 		c.open = make(map[uint64]*TxTimeline)
+		c.openVIDs = c.openVIDs[:0]
 	}
 }
 
@@ -74,11 +118,21 @@ func (c *TxCollector) Close() error { return nil }
 // Committed returns the committed-transaction timelines in commit order.
 func (c *TxCollector) Committed() []TxTimeline { return c.committed }
 
+// Aborted returns one timeline per rolled-back transaction attempt, in
+// abort order (and within one abort, in first-begin order).
+func (c *TxCollector) Aborted() []TxTimeline { return c.aborted }
+
 // TxSummary aggregates the collector's timelines.
 type TxSummary struct {
 	Committed     uint64
 	Aborts        uint64
 	AbortsByClass map[string]uint64
+	// AbortedAttempts counts rolled-back transaction attempts (one run
+	// abort discards every in-flight transaction, so this is at least
+	// Aborts); RecommittedTxs counts the distinct VIDs among them that
+	// eventually committed on a later attempt.
+	AbortedAttempts uint64
+	RecommittedTxs  uint64
 	// MeanLatency and MaxLatency are begin-to-commit latencies in cycles.
 	MeanLatency float64
 	MaxLatency  int64
@@ -90,9 +144,15 @@ type TxSummary struct {
 // Summary aggregates every committed transaction and abort seen so far.
 func (c *TxCollector) Summary() TxSummary {
 	s := TxSummary{
-		Committed:     uint64(len(c.committed)),
-		Aborts:        c.abortN,
-		AbortsByClass: make(map[string]uint64),
+		Committed:       uint64(len(c.committed)),
+		Aborts:          c.abortN,
+		AbortsByClass:   make(map[string]uint64),
+		AbortedAttempts: uint64(len(c.aborted)),
+	}
+	for i := range c.committed {
+		if c.committed[i].Attempt > 1 {
+			s.RecommittedTxs++
+		}
 	}
 	for _, class := range AbortClasses() {
 		if n := c.aborts[class]; n > 0 {
@@ -131,6 +191,10 @@ func (s TxSummary) String() string {
 		if n, ok := s.AbortsByClass[class]; ok {
 			t.AddF("  aborts: "+class, n)
 		}
+	}
+	if s.AbortedAttempts > 0 {
+		t.AddF("aborted tx attempts", s.AbortedAttempts)
+		t.AddF("txs recommitted after abort", s.RecommittedTxs)
 	}
 	return t.String()
 }

@@ -98,10 +98,12 @@ func (d *smtxDriver) factor() float64 {
 }
 
 // dilate charges the STM instrumentation overhead for a stage that took
-// elapsed cycles of native work.
+// elapsed cycles of native work. Like every software cost of this runtime it
+// is charged as validation work, so cycle profiles separate it from the
+// loop's own compute.
 func (d *smtxDriver) dilate(e *engine.Env, elapsed int64) {
 	extra := int64(float64(elapsed) * (d.factor() - 1))
-	e.Compute(extra)
+	e.ComputeValidation(extra)
 }
 
 const (
@@ -189,7 +191,7 @@ func (d *smtxDriver) stage1Prog() engine.Program {
 			n := e.SpecAccessCount()
 			e.Begin(0)
 			d.dilate(e, e.Now()-t0)
-			e.Compute(d.cfg.IterOverhead)
+			e.ComputeValidation(d.cfg.IterOverhead)
 			e.Produce(qRec, encRec(seq, d.records(n)))
 			e.Produce(qVIDs, uint64(seq))
 			lastSeq = seq
@@ -220,13 +222,13 @@ func (d *smtxDriver) stage2Prog() engine.Program {
 			if d.mode == MinSet {
 				fwd = d.cfg.MinRecords
 			}
-			e.Compute(d.cfg.ForwardCost * int64(fwd))
+			e.ComputeValidation(d.cfg.ForwardCost * int64(fwd))
 			t0 := e.Now()
 			exit := d.loop.Stage2(e, it)
 			d.dilate(e, e.Now()-t0)
 			after := e.SpecAccessCount()
 			e.Begin(0)
-			e.Compute(d.cfg.IterOverhead)
+			e.ComputeValidation(d.cfg.IterOverhead)
 			e.Produce(qRec, encRec(seq, d.records(after-before)))
 			if exit {
 				panic("smtx: early-exit loops are not supported by the SMTX baseline")
@@ -247,7 +249,7 @@ func (d *smtxDriver) doallProg(w, workers int) engine.Program {
 			n := e.SpecAccessCount()
 			e.Begin(0)
 			d.dilate(e, e.Now()-t0)
-			e.Compute(d.cfg.IterOverhead)
+			e.ComputeValidation(d.cfg.IterOverhead)
 			e.Produce(qRec, encRec(seq, d.records(n)))
 			lastSeq = seq
 		}
@@ -303,7 +305,7 @@ func (d *smtxDriver) commitProg(kind paradigm.Kind) engine.Program {
 				// brackets the commit process's serial validation so
 				// traces show the §2.3 bottleneck directly.
 				e.Emit(obs.Event{Kind: obs.KSpanBegin, VID: uint64(expected), Arg: p.records, Note: "smtx.validate"})
-				e.Compute(d.cfg.ValidateCost * int64(p.records))
+				e.ComputeValidation(d.cfg.ValidateCost * int64(p.records))
 				e.Commit(expected)
 				e.Emit(obs.Event{Kind: obs.KSpanEnd, VID: uint64(expected), Arg: p.records, Note: "smtx.validate"})
 				delete(pending, expected)

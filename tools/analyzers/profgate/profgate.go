@@ -1,0 +1,120 @@
+// Package profgate keeps cycle profiling off the simulator's fast path.
+//
+// The profiler contract (DESIGN.md §13) is that a run with profiling disabled
+// pays only one nil-check per potential charge: every call to a
+// (*prof.Collector) emit method — Charge, ChargeLine, the heatmap counters,
+// CoreDone, RunEnd — inside internal/memsys and internal/engine must sit in
+// the body of an if statement whose condition calls Enabled on a collector,
+// so no charge entry is built and no map is touched when profiling is off.
+// The analyzer reports any collector method call in those packages that is
+// not enclosed by such a guard; Enabled itself is the guard and is exempt.
+//
+// Test files are exempt: tests drive the collector deliberately and are not
+// on the simulated fast path.
+package profgate
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"hmtx/tools/analyzers/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "profgate",
+	Doc:  "requires every prof.Collector call in memsys/engine to be inside an Enabled() guard",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	pkg := strings.TrimSuffix(pass.PkgPath, "_test")
+	if !strings.HasSuffix(pkg, "internal/memsys") && !strings.HasSuffix(pkg, "internal/engine") {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		// First pass: the body ranges of every if statement whose condition
+		// consults Enabled on a collector. Charges inside such a body (at
+		// any nesting depth) are guarded.
+		var guards []guard
+		ast.Inspect(file, func(n ast.Node) bool {
+			ifs, ok := n.(*ast.IfStmt)
+			if !ok {
+				return true
+			}
+			if condCallsEnabled(pass, ifs.Cond) {
+				guards = append(guards, guard{ifs.Body.Pos(), ifs.Body.End()})
+			}
+			return true
+		})
+		// Second pass: every collector method call other than Enabled must
+		// fall inside one of the collected guard bodies.
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, ok := collectorMethod(pass, call)
+			if !ok || name == "Enabled" {
+				return true
+			}
+			for _, g := range guards {
+				if g.lo <= call.Pos() && call.Pos() < g.hi {
+					return true
+				}
+			}
+			pass.Reportf(call.Pos(), "prof.Collector.%s outside an Enabled() guard; wrap it in `if p.Enabled() { ... }` to keep the fast path free when profiling is off", name)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+type guard struct{ lo, hi token.Pos }
+
+// condCallsEnabled reports whether the expression contains a call to the
+// collector's Enabled method, however it is combined (negation, &&, ||).
+func condCallsEnabled(pass *analysis.Pass, cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if name, ok := collectorMethod(pass, call); ok && name == "Enabled" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// collectorMethod reports whether call invokes a method on a value whose type
+// is prof.Collector (or a pointer to it) from an internal/prof package, and
+// returns the method name.
+func collectorMethod(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	selection, ok := pass.TypesInfo.Selections[sel]
+	if !ok || selection.Kind() != types.MethodVal {
+		return "", false
+	}
+	recv := selection.Recv()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Name() != "Collector" || obj.Pkg() == nil ||
+		!strings.HasSuffix(obj.Pkg().Path(), "internal/prof") {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}

@@ -1,0 +1,15 @@
+package profgate_test
+
+import (
+	"testing"
+
+	"hmtx/tools/analyzers/analysis/analysistest"
+	"hmtx/tools/analyzers/profgate"
+)
+
+func TestProfgate(t *testing.T) {
+	// sim/internal/engine carries the want comments; other is out of scope
+	// and must stay silent despite its unguarded charges.
+	analysistest.Run(t, analysistest.TestData(), profgate.Analyzer,
+		"sim/internal/engine", "other")
+}

@@ -1,0 +1,11 @@
+// Package other is outside internal/memsys and internal/engine, so the gate
+// does not apply: unguarded charges are fine off the simulated fast path
+// (e.g. a CLI snapshotting a collector it just ran).
+package other
+
+import "hmtx/internal/prof"
+
+func Dump(p *prof.Collector) {
+	p.Charge(0, 1, prof.Compute, 10)
+	p.RunEnd(10, false, 1)
+}

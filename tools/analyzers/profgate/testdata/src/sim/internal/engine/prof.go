@@ -1,0 +1,50 @@
+package engine
+
+import "hmtx/internal/prof"
+
+type sys struct {
+	prof *prof.Collector
+}
+
+// Guarded charges are the contract: no diagnostics.
+func (s *sys) guarded(cycles int64) {
+	if s.prof.Enabled() {
+		s.prof.Charge(0, 1, prof.Compute, cycles)
+	}
+	if s.prof.Enabled() && cycles > 0 {
+		// Nested inside the guard body still counts.
+		if cycles > 16 {
+			s.prof.ChargeLine(0, 1, prof.Bus, cycles, 0x40)
+		}
+		s.prof.LineConflict(0x40)
+	}
+	p := s.prof
+	if p.Enabled() {
+		p.CoreDone(0, cycles)
+		p.RunEnd(cycles, false, 1)
+	}
+}
+
+func (s *sys) unguarded(cycles int64) {
+	s.prof.Charge(0, 1, prof.Compute, cycles) // want `Charge outside an Enabled\(\) guard`
+	if cycles != 0 {
+		// An if statement that never consults Enabled is not a guard.
+		s.prof.LineConflict(0x40) // want `LineConflict outside an Enabled\(\) guard`
+	}
+	if s.prof.Enabled() {
+		_ = cycles
+	}
+	// After a guard body ends the gate is closed again.
+	s.prof.CoreDone(0, cycles) // want `CoreDone outside an Enabled\(\) guard`
+}
+
+// Methods named Charge on other types are not collector charges, and
+// Enabled itself needs no guard.
+type meter struct{}
+
+func (meter) Charge(core int, seq uint64, b prof.Bucket, cycles int64) {}
+
+func use(m meter, p *prof.Collector) bool {
+	m.Charge(0, 0, prof.Compute, 1)
+	return p.Enabled()
+}

@@ -13,6 +13,7 @@ var SimPackages = map[string]bool{
 	"hmtx/internal/memsys":      true,
 	"hmtx/internal/check":       true,
 	"hmtx/internal/obs":         true,
+	"hmtx/internal/prof":        true,
 	"hmtx/internal/hmtx":        true,
 	"hmtx/internal/smtx":        true,
 	"hmtx/internal/experiments": true,

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	benchdiff [-tol 0.20] OLD.json NEW.json
+//	benchdiff [-tol 0.20] [-geomean-tol 0] OLD.json NEW.json
 //
 // Both files must carry the same schema tag:
 //
@@ -16,6 +16,13 @@
 //     zero-allocation contract is host-independent), and wall-clock or
 //     ns/op regressions beyond -tol only warn (exit 0) because host timing
 //     is machine- and load-dependent.
+//
+// -geomean-tol (0 disables, the default) adds one hard timing gate to the
+// hmtx-perf/v1 comparison: the geometric mean of the per-benchmark ns/op
+// ratios over the shared microbenchmarks must not regress by more than the
+// given fraction. A single noisy benchmark only warns, but the whole hot
+// path drifting slower together is a real regression even on a shared
+// runner, so CI fails it.
 //
 // Exit status: 0 comparison passed (warnings allowed), 1 regression,
 // 2 usage or read error.
@@ -30,6 +37,7 @@ import (
 	"os"
 
 	"hmtx/internal/experiments"
+	"hmtx/internal/stats"
 	"hmtx/tools/benchfmt"
 )
 
@@ -37,9 +45,10 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchdiff: ")
 	tol := flag.Float64("tol", 0.20, "relative guardband for host-time regressions (warn-only)")
+	geoTol := flag.Float64("geomean-tol", 0, "fail if the geomean ns/op ratio over shared benchmarks regresses by more than this fraction (0 disables)")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tol 0.20] OLD.json NEW.json")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tol 0.20] [-geomean-tol 0] OLD.json NEW.json")
 		os.Exit(2)
 	}
 	oldBuf, newBuf := mustRead(flag.Arg(0)), mustRead(flag.Arg(1))
@@ -57,7 +66,7 @@ func main() {
 	case "hmtx-bench/v1":
 		fails = diffBench(oldBuf, newBuf)
 	case benchfmt.Schema:
-		fails, warns = diffPerf(oldBuf, newBuf, *tol)
+		fails, warns = diffPerf(oldBuf, newBuf, *tol, *geoTol)
 	default:
 		log.Printf("%s: unknown schema %q", flag.Arg(0), probe.Schema)
 		os.Exit(2)
@@ -130,13 +139,13 @@ func diffBench(oldBuf, newBuf []byte) (fails int) {
 
 // diffPerf compares two hmtx-perf/v1 documents: simulated digest exactly,
 // allocation counts monotonically, host timing within tol (warn-only).
-func diffPerf(oldBuf, newBuf []byte, tol float64) (fails, warns int) {
+func diffPerf(oldBuf, newBuf []byte, tol, geoTol float64) (fails, warns int) {
 	od, err := benchfmt.Read(bytes.NewReader(oldBuf))
 	if err == nil {
 		var nd benchfmt.Doc
 		nd, err = benchfmt.Read(bytes.NewReader(newBuf))
 		if err == nil {
-			return diffPerfDocs(od, nd, tol)
+			return diffPerfDocs(od, nd, tol, geoTol)
 		}
 	}
 	log.Println(err)
@@ -144,7 +153,7 @@ func diffPerf(oldBuf, newBuf []byte, tol float64) (fails, warns int) {
 	return
 }
 
-func diffPerfDocs(od, nd benchfmt.Doc, tol float64) (fails, warns int) {
+func diffPerfDocs(od, nd benchfmt.Doc, tol, geoTol float64) (fails, warns int) {
 	// Simulated digest: deterministic, so exact.
 	if od.Suite.GeomeanHMTX != nd.Suite.GeomeanHMTX || od.Suite.TotalSeqCycles != nd.Suite.TotalSeqCycles {
 		log.Printf("FAIL: simulated digest drifted: geomean %.6f -> %.6f, seq cycles %d -> %d",
@@ -164,6 +173,7 @@ func diffPerfDocs(od, nd benchfmt.Doc, tol float64) (fails, warns int) {
 	for _, b := range od.Benchmarks {
 		oldBy[b.Name] = b
 	}
+	var ratios []float64
 	for _, nb := range nd.Benchmarks {
 		ob, ok := oldBy[nb.Name]
 		if !ok {
@@ -173,10 +183,24 @@ func diffPerfDocs(od, nd benchfmt.Doc, tol float64) (fails, warns int) {
 			log.Printf("FAIL: %s allocs/op increased: %d -> %d", nb.Name, ob.AllocsPerOp, nb.AllocsPerOp)
 			fails++
 		}
+		if ob.NsPerOp > 0 && nb.NsPerOp > 0 {
+			ratios = append(ratios, nb.NsPerOp/ob.NsPerOp)
+		}
 		if ob.NsPerOp > 0 && nb.NsPerOp > ob.NsPerOp*(1+tol) {
 			log.Printf("warn: %s ns/op regressed %.1f%%: %.1f -> %.1f",
 				nb.Name, 100*(nb.NsPerOp/ob.NsPerOp-1), ob.NsPerOp, nb.NsPerOp)
 			warns++
+		}
+	}
+
+	// Geomean gate: one benchmark jittering past tol is host noise and only
+	// warns above, but the whole shared set drifting slower together is a
+	// hot-path regression and fails when the gate is armed.
+	if geoTol > 0 && len(ratios) > 0 {
+		if g := stats.Geomean(ratios); g > 1+geoTol {
+			log.Printf("FAIL: geomean ns/op over %d shared benchmark(s) regressed %.1f%% (gate %.0f%%)",
+				len(ratios), 100*(g-1), 100*geoTol)
+			fails++
 		}
 	}
 	return fails, warns

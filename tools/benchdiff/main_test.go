@@ -50,32 +50,83 @@ func TestDiffPerfPolicy(t *testing.T) {
 	base := perfDoc(10, 1000, 30, 0)
 
 	// Identical: clean pass.
-	if fails, warns := diffPerfDocs(base, perfDoc(10, 1000, 30, 0), 0.20); fails != 0 || warns != 0 {
+	if fails, warns := diffPerfDocs(base, perfDoc(10, 1000, 30, 0), 0.20, 0); fails != 0 || warns != 0 {
 		t.Fatalf("identical: fails=%d warns=%d", fails, warns)
 	}
 
 	// Simulated digest drift: hard failure.
-	if fails, _ := diffPerfDocs(base, perfDoc(10, 1001, 30, 0), 0.20); fails == 0 {
+	if fails, _ := diffPerfDocs(base, perfDoc(10, 1001, 30, 0), 0.20, 0); fails == 0 {
 		t.Fatal("sim digest drift not failed")
 	}
 
 	// Allocation increase: hard failure (host-independent contract).
-	if fails, _ := diffPerfDocs(base, perfDoc(10, 1000, 30, 1), 0.20); fails == 0 {
+	if fails, _ := diffPerfDocs(base, perfDoc(10, 1000, 30, 1), 0.20, 0); fails == 0 {
 		t.Fatal("allocs/op increase not failed")
 	}
 
 	// Wall-clock regression beyond tolerance: warn only.
-	if fails, warns := diffPerfDocs(base, perfDoc(13, 1000, 30, 0), 0.20); fails != 0 || warns != 1 {
+	if fails, warns := diffPerfDocs(base, perfDoc(13, 1000, 30, 0), 0.20, 0); fails != 0 || warns != 1 {
 		t.Fatalf("wall-clock regression: fails=%d warns=%d, want 0/1", fails, warns)
 	}
 
 	// ns/op regression beyond tolerance: warn only.
-	if fails, warns := diffPerfDocs(base, perfDoc(10, 1000, 40, 0), 0.20); fails != 0 || warns != 1 {
+	if fails, warns := diffPerfDocs(base, perfDoc(10, 1000, 40, 0), 0.20, 0); fails != 0 || warns != 1 {
 		t.Fatalf("ns/op regression: fails=%d warns=%d, want 0/1", fails, warns)
 	}
 
 	// Within tolerance: no warning.
-	if fails, warns := diffPerfDocs(base, perfDoc(11, 1000, 33, 0), 0.20); fails != 0 || warns != 0 {
+	if fails, warns := diffPerfDocs(base, perfDoc(11, 1000, 33, 0), 0.20, 0); fails != 0 || warns != 0 {
 		t.Fatalf("within tolerance: fails=%d warns=%d", fails, warns)
+	}
+}
+
+// multiDoc builds a perf document with several benchmarks whose ns/op are
+// the base values scaled by f.
+func multiDoc(f float64) benchfmt.Doc {
+	doc := benchfmt.Doc{
+		Schema: benchfmt.Schema,
+		Suite:  benchfmt.Suite{Parallelism: 1, WallSeconds: 10, GeomeanHMTX: 2.5, TotalSeqCycles: 1000},
+	}
+	for _, b := range []struct {
+		name string
+		ns   float64
+	}{{"BenchmarkA", 40}, {"BenchmarkB", 100}, {"BenchmarkC", 400}} {
+		doc.Benchmarks = append(doc.Benchmarks, benchfmt.Benchmark{Name: b.name, NsPerOp: b.ns * f})
+	}
+	return doc
+}
+
+func TestDiffPerfGeomeanGate(t *testing.T) {
+	base := multiDoc(1)
+
+	// Everything 12% slower: each benchmark is inside the 20% per-benchmark
+	// guardband (no warnings), but the armed 10% geomean gate fails.
+	fails, warns := diffPerfDocs(base, multiDoc(1.12), 0.20, 0.10)
+	if fails != 1 || warns != 0 {
+		t.Fatalf("uniform 12%% drift: fails=%d warns=%d, want 1/0", fails, warns)
+	}
+
+	// Gate disarmed (0): same drift passes with no warnings.
+	if fails, warns := diffPerfDocs(base, multiDoc(1.12), 0.20, 0); fails != 0 || warns != 0 {
+		t.Fatalf("disarmed gate: fails=%d warns=%d, want 0/0", fails, warns)
+	}
+
+	// Uniform 8% drift: inside the 10% gate, passes.
+	if fails, _ := diffPerfDocs(base, multiDoc(1.08), 0.20, 0.10); fails != 0 {
+		t.Fatalf("8%% drift under a 10%% gate: fails=%d, want 0", fails)
+	}
+
+	// One benchmark 30% slower, the others unchanged: geomean ~1.09 stays
+	// under the gate, and the per-benchmark tolerance reports the outlier
+	// as a warning only.
+	one := multiDoc(1)
+	one.Benchmarks[1].NsPerOp *= 1.30
+	if fails, warns := diffPerfDocs(base, one, 0.20, 0.10); fails != 0 || warns != 1 {
+		t.Fatalf("single outlier: fails=%d warns=%d, want 0/1", fails, warns)
+	}
+
+	// Uniform speedup must never trip the gate.
+	if fails, _ := diffPerfDocs(base, multiDoc(0.8), 0.20, 0.10); fails != 0 {
+		t.Fatalf("speedup tripped the gate: fails=%d", fails)
 	}
 }
