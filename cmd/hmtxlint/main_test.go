@@ -1,0 +1,73 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestSortFindingsStable(t *testing.T) {
+	fs := []Finding{
+		{File: "b.go", Line: 1, Col: 1, Analyzer: "z", Message: "m"},
+		{File: "a.go", Line: 9, Col: 1, Analyzer: "z", Message: "m"},
+		{File: "a.go", Line: 2, Col: 5, Analyzer: "z", Message: "m"},
+		{File: "a.go", Line: 2, Col: 5, Analyzer: "a", Message: "m"},
+		{File: "a.go", Line: 2, Col: 1, Analyzer: "z", Message: "b"},
+		{File: "a.go", Line: 2, Col: 1, Analyzer: "z", Message: "a"},
+	}
+	sortFindings(fs)
+	want := []Finding{
+		{File: "a.go", Line: 2, Col: 1, Analyzer: "z", Message: "a"},
+		{File: "a.go", Line: 2, Col: 1, Analyzer: "z", Message: "b"},
+		{File: "a.go", Line: 2, Col: 5, Analyzer: "a", Message: "m"},
+		{File: "a.go", Line: 2, Col: 5, Analyzer: "z", Message: "m"},
+		{File: "a.go", Line: 9, Col: 1, Analyzer: "z", Message: "m"},
+		{File: "b.go", Line: 1, Col: 1, Analyzer: "z", Message: "m"},
+	}
+	for i := range want {
+		if fs[i] != want[i] {
+			t.Fatalf("position %d: got %+v, want %+v", i, fs[i], want[i])
+		}
+	}
+}
+
+func TestDiffBaselineIgnoresLineDrift(t *testing.T) {
+	baseline := []Finding{
+		{File: "x.go", Line: 10, Col: 2, Analyzer: "detflow", Message: "old finding"},
+		{File: "x.go", Line: 20, Col: 2, Analyzer: "txpath", Message: "dup"},
+	}
+	findings := []Finding{
+		{File: "x.go", Line: 14, Col: 2, Analyzer: "detflow", Message: "old finding"}, // moved: tolerated
+		{File: "x.go", Line: 20, Col: 2, Analyzer: "txpath", Message: "dup"},
+		{File: "x.go", Line: 25, Col: 2, Analyzer: "txpath", Message: "dup"}, // second instance: new
+		{File: "y.go", Line: 1, Col: 1, Analyzer: "noclock", Message: "brand new"},
+	}
+	fresh := diffBaseline(findings, baseline)
+	if len(fresh) != 2 {
+		t.Fatalf("got %d fresh findings, want 2: %+v", len(fresh), fresh)
+	}
+	if fresh[0].Line != 25 || fresh[0].Analyzer != "txpath" {
+		t.Errorf("fresh[0] = %+v, want the second txpath dup", fresh[0])
+	}
+	if fresh[1].File != "y.go" {
+		t.Errorf("fresh[1] = %+v, want the y.go finding", fresh[1])
+	}
+}
+
+func TestDiffBaselineEmptyBaseline(t *testing.T) {
+	findings := []Finding{{File: "x.go", Line: 1, Col: 1, Analyzer: "a", Message: "m"}}
+	if fresh := diffBaseline(findings, nil); len(fresh) != 1 {
+		t.Fatalf("got %d, want all findings fresh with an empty baseline", len(fresh))
+	}
+}
+
+func TestRelPath(t *testing.T) {
+	base := filepath.Join(string(filepath.Separator), "repo")
+	inside := filepath.Join(base, "internal", "x.go")
+	if got := relPath(base, inside); got != "internal/x.go" {
+		t.Errorf("relPath(inside) = %q, want internal/x.go", got)
+	}
+	outside := filepath.Join(string(filepath.Separator), "elsewhere", "y.go")
+	if got := relPath(base, outside); got != outside {
+		t.Errorf("relPath(outside) = %q, want the absolute path kept", got)
+	}
+}

@@ -2,11 +2,16 @@
 // golang.org/x/tools/go/analysis vocabulary: an Analyzer inspects one
 // type-checked package at a time and reports position-anchored diagnostics.
 //
-// Only the subset needed by the hmtx determinism linters is provided; there
-// are no facts, no analyzer dependencies, and no suggested fixes. Packages
-// are loaded with Load (see load.go), which shells out to `go list -export`
-// and type-checks target packages from source against compiler export data,
-// so the module needs no third-party imports.
+// Only the subset needed by the hmtx linters is provided — no suggested
+// fixes, no analyzer-to-analyzer dependencies. Packages are loaded with Load
+// (see load.go), which shells out to `go list -export` and type-checks
+// target packages from source against compiler export data, so the module
+// needs no third-party imports. Load returns packages in dependency order;
+// a Runner carries analyzer facts (facts.go) from a package to its
+// importers, which is what lets detflow and txpath reason across function
+// and package boundaries. Sub-packages cfg and callgraph supply the
+// per-function control-flow graphs, the forward-dataflow fixpoint engine,
+// and the static call graph those analyzers are built on.
 package analysis
 
 import (
@@ -14,6 +19,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"sort"
 )
 
 // An Analyzer describes one lint rule.
@@ -37,6 +43,8 @@ type Pass struct {
 	PkgPath   string // import path; xtest packages carry a "_test" suffix
 	TypesInfo *types.Info
 	Report    func(Diagnostic)
+
+	facts *factStore
 }
 
 // A Diagnostic is one reported problem.
@@ -50,9 +58,23 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
 }
 
+// A Runner applies analyzers to packages while carrying each analyzer's
+// facts from one package to the next. Run packages in dependency order (the
+// order Load returns them) so that an importer sees the facts its
+// dependencies exported.
+type Runner struct {
+	facts *factStore
+}
+
+// NewRunner returns a Runner with an empty fact store.
+func NewRunner() *Runner {
+	return &Runner{facts: newFactStore()}
+}
+
 // Run applies one analyzer to one loaded package and returns its diagnostics
-// in source order (the order the analyzer reported them).
-func Run(pkg *Package, a *Analyzer) ([]Diagnostic, error) {
+// sorted by position (ties broken by message), so the output is independent
+// of the analyzer's internal traversal order.
+func (r *Runner) Run(pkg *Package, a *Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	pass := &Pass{
 		Analyzer:  a,
@@ -62,11 +84,24 @@ func Run(pkg *Package, a *Analyzer) ([]Diagnostic, error) {
 		PkgPath:   pkg.PkgPath,
 		TypesInfo: pkg.Info,
 		Report:    func(d Diagnostic) { diags = append(diags, d) },
+		facts:     r.facts,
 	}
 	if _, err := a.Run(pass); err != nil {
 		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
 	}
+	sort.SliceStable(diags, func(i, j int) bool {
+		if diags[i].Pos != diags[j].Pos {
+			return diags[i].Pos < diags[j].Pos
+		}
+		return diags[i].Message < diags[j].Message
+	})
 	return diags, nil
+}
+
+// Run applies one analyzer to one package with a fresh fact store. Analyzers
+// that rely on cross-package facts need a shared Runner instead.
+func Run(pkg *Package, a *Analyzer) ([]Diagnostic, error) {
+	return NewRunner().Run(pkg, a)
 }
 
 // NewInfo returns a types.Info with all maps the analyzers rely on.

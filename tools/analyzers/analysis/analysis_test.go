@@ -1,0 +1,204 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"hmtx/tools/analyzers/analysis"
+)
+
+// loadFixturePair source-loads the facta/factb fixture pair in one Checker.
+func loadFixturePair(t *testing.T) (a, b *analysis.Package) {
+	t.Helper()
+	c := analysis.NewChecker()
+	c.AddUnit("facta", []string{filepath.Join("testdata", "src", "facta", "a.go")})
+	c.AddUnit("factb", []string{filepath.Join("testdata", "src", "factb", "b.go")})
+	pa, err := c.Package("facta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := c.Package("factb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pa, pb
+}
+
+type markFact struct{ Label string }
+
+func (*markFact) AFact() {}
+
+// TestFactPropagation runs a fact-exporting analyzer over two source-loaded
+// packages in dependency order with a shared Runner and checks that the
+// importer observes exactly the facts the dependency exported.
+func TestFactPropagation(t *testing.T) {
+	pa, pb := loadFixturePair(t)
+
+	var sawMarked, sawPlain bool
+	a := &analysis.Analyzer{
+		Name: "facttest",
+		Doc:  "exports a fact on facta.Marked and reads it from factb",
+		Run: func(pass *analysis.Pass) (any, error) {
+			switch pass.PkgPath {
+			case "facta":
+				obj := pass.Pkg.Scope().Lookup("Marked")
+				if obj == nil {
+					t.Fatal("facta.Marked not found")
+				}
+				pass.ExportObjectFact(obj, &markFact{Label: "yes"})
+			case "factb":
+				for _, imp := range pass.Pkg.Imports() {
+					if imp.Path() != "facta" {
+						continue
+					}
+					var f markFact
+					if pass.ImportObjectFact(imp.Scope().Lookup("Marked"), &f) {
+						sawMarked = true
+						if f.Label != "yes" {
+							t.Errorf("fact label = %q, want yes (copy must preserve fields)", f.Label)
+						}
+					}
+					if pass.ImportObjectFact(imp.Scope().Lookup("Plain"), &f) {
+						sawPlain = true
+					}
+				}
+			}
+			return nil, nil
+		},
+	}
+
+	runner := analysis.NewRunner()
+	for _, pkg := range []*analysis.Package{pa, pb} {
+		if _, err := runner.Run(pkg, a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !sawMarked {
+		t.Error("fact exported on facta.Marked was not visible in factb")
+	}
+	if sawPlain {
+		t.Error("fact reported for facta.Plain, which never had one exported")
+	}
+
+	// A second Runner starts with an empty store: facts must not leak
+	// between independent runs.
+	var leaked bool
+	probe := &analysis.Analyzer{
+		Name: "probe",
+		Doc:  "checks fact isolation between runners",
+		Run: func(pass *analysis.Pass) (any, error) {
+			var f markFact
+			if obj := pass.Pkg.Scope().Lookup("Marked"); obj != nil {
+				leaked = pass.ImportObjectFact(obj, &f)
+			}
+			return nil, nil
+		},
+	}
+	if _, err := analysis.NewRunner().Run(pa, probe); err != nil {
+		t.Fatal(err)
+	}
+	if leaked {
+		t.Error("fact from one Runner visible in a fresh Runner")
+	}
+}
+
+// TestDiagnosticOrdering reports diagnostics in scrambled order and checks
+// the Runner returns them sorted by position, then message.
+func TestDiagnosticOrdering(t *testing.T) {
+	pa, _ := loadFixturePair(t)
+	a := &analysis.Analyzer{
+		Name: "scramble",
+		Doc:  "reports function declarations in reverse source order",
+		Run: func(pass *analysis.Pass) (any, error) {
+			var decls []*ast.FuncDecl
+			for _, f := range pass.Files {
+				for _, d := range f.Decls {
+					if fd, ok := d.(*ast.FuncDecl); ok {
+						decls = append(decls, fd)
+					}
+				}
+			}
+			for i := len(decls) - 1; i >= 0; i-- {
+				pass.Reportf(decls[i].Pos(), "decl %s", decls[i].Name.Name)
+				pass.Reportf(decls[i].Pos(), "also %s", decls[i].Name.Name)
+			}
+			return nil, nil
+		},
+	}
+	diags, err := analysis.NewRunner().Run(pa, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 4 {
+		t.Fatalf("got %d diagnostics, want 4", len(diags))
+	}
+	var got []string
+	lastPos := token.NoPos
+	for _, d := range diags {
+		if d.Pos < lastPos {
+			t.Errorf("diagnostics not sorted by position: %v after %v", d.Pos, lastPos)
+		}
+		lastPos = d.Pos
+		got = append(got, d.Message)
+	}
+	want := []string{"also Marked", "decl Marked", "also Plain", "decl Plain"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("messages = %v, want %v (position then message order)", got, want)
+	}
+}
+
+// TestLoadDependencyOrder loads real repository packages and checks every
+// package appears after its loaded imports.
+func TestLoadDependencyOrder(t *testing.T) {
+	pkgs, err := analysis.Load("hmtx/internal/vid", "hmtx/internal/memsys", "hmtx/internal/engine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	index := make(map[string]int)
+	for i, p := range pkgs {
+		index[p.PkgPath] = i
+	}
+	for _, path := range []string{"hmtx/internal/vid", "hmtx/internal/memsys", "hmtx/internal/engine"} {
+		if _, ok := index[path]; !ok {
+			t.Fatalf("package %s missing from Load result", path)
+		}
+	}
+	if index["hmtx/internal/vid"] > index["hmtx/internal/engine"] {
+		t.Error("vid must precede engine, which imports it")
+	}
+	if index["hmtx/internal/memsys"] > index["hmtx/internal/engine"] {
+		t.Error("memsys must precede engine, which imports it")
+	}
+}
+
+// TestDependencyOrderDeterministic checks the topological sort breaks ties
+// lexicographically and still emits every unit when the edges form a cycle.
+func TestDependencyOrderDeterministic(t *testing.T) {
+	edges := map[string][]string{
+		"c":   {"a", "b"},
+		"b":   nil,
+		"a":   nil,
+		"d":   {"c"},
+		"ind": nil,
+	}
+	got := analysis.DependencyOrder(edges)
+	// After a and b are emitted, c unblocks and sorts ahead of ind.
+	want := []string{"a", "b", "c", "d", "ind"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("order = %v, want %v", got, want)
+	}
+
+	cyc := map[string][]string{"x": {"y"}, "y": {"x"}, "z": nil}
+	got = analysis.DependencyOrder(cyc)
+	if len(got) != 3 || got[0] != "z" {
+		t.Errorf("cycle order = %v, want z first then the cycle members", got)
+	}
+	joined := strings.Join(got[1:], ",")
+	if joined != "x,y" {
+		t.Errorf("cycle members = %s, want x,y in name order", joined)
+	}
+}

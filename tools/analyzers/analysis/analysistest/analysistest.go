@@ -41,34 +41,54 @@ func TestData() string {
 	return p
 }
 
-// Run loads every fixture package under testdata/src, applies a to each of
-// the named packages, and reports mismatches between the diagnostics and the
-// fixtures' want comments through t.
+// Run loads every fixture package under testdata/src, applies a to all of
+// them in dependency order with a shared fact store (so interprocedural
+// analyzers see the facts of fixture dependencies), and reports mismatches
+// between the diagnostics and the want comments of the named packages
+// through t. Diagnostics in fixture packages that are not named are ignored
+// — dependencies often deliberately contain the sources a finding in the
+// named package flows from.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpaths ...string) {
 	t.Helper()
-	checker, err := loadFixtures(filepath.Join(testdata, "src"))
+	checker, order, err := loadFixtures(filepath.Join(testdata, "src"))
 	if err != nil {
 		t.Fatal(err)
 	}
+	requested := make(map[string]bool, len(pkgpaths))
 	for _, path := range pkgpaths {
+		requested[path] = true
+	}
+	runner := analysis.NewRunner()
+	ran := make(map[string]bool)
+	for _, path := range order {
 		pkg, err := checker.Package(path)
 		if err != nil {
 			t.Fatalf("loading fixture %s: %v", path, err)
 		}
-		diags, err := analysis.Run(pkg, a)
+		diags, err := runner.Run(pkg, a)
 		if err != nil {
 			t.Fatalf("running %s on %s: %v", a.Name, path, err)
 		}
-		checkExpectations(t, pkg, diags)
+		ran[path] = true
+		if requested[path] {
+			checkExpectations(t, pkg, diags)
+		}
+	}
+	for _, path := range pkgpaths {
+		if !ran[path] {
+			t.Errorf("requested fixture package %s not found under %s", path, testdata)
+		}
 	}
 }
 
 // loadFixtures registers every directory under srcroot that contains Go
 // files as a source unit keyed by its slash-separated relative path, and
-// gathers export data for any imports that are not fixtures.
-func loadFixtures(srcroot string) (*analysis.Checker, error) {
+// gathers export data for any imports that are not fixtures. The returned
+// order lists the fixture paths dependencies-first.
+func loadFixtures(srcroot string) (*analysis.Checker, []string, error) {
 	checker := analysis.NewChecker()
-	external := make(map[string]bool)
+	units := make(map[string]bool)       // every fixture path
+	imports := make(map[string][]string) // fixture path -> all imports
 	fset := token.NewFileSet()
 
 	err := filepath.WalkDir(srcroot, func(dir string, d os.DirEntry, err error) error {
@@ -93,7 +113,9 @@ func loadFixtures(srcroot string) (*analysis.Checker, error) {
 		if err != nil {
 			return err
 		}
-		checker.AddUnit(filepath.ToSlash(rel), files)
+		unitPath := filepath.ToSlash(rel)
+		checker.AddUnit(unitPath, files)
+		units[unitPath] = true
 		for _, f := range files {
 			syntax, err := parser.ParseFile(fset, f, nil, parser.ImportsOnly)
 			if err != nil {
@@ -101,33 +123,42 @@ func loadFixtures(srcroot string) (*analysis.Checker, error) {
 			}
 			for _, imp := range syntax.Imports {
 				if path, err := strconv.Unquote(imp.Path.Value); err == nil {
-					external[path] = true
+					imports[unitPath] = append(imports[unitPath], path)
 				}
 			}
 		}
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	// Anything imported by a fixture that is not itself a fixture must come
 	// from export data; one `go list -export` resolves them all.
-	var need []string
-	for path := range external {
-		if path == "unsafe" {
-			continue
+	need := make(map[string]bool)
+	fixtureImports := make(map[string][]string, len(units))
+	for unitPath := range units {
+		fixtureImports[unitPath] = nil
+		for _, path := range imports[unitPath] {
+			if path == "unsafe" {
+				continue
+			}
+			if units[path] {
+				fixtureImports[unitPath] = append(fixtureImports[unitPath], path)
+				continue
+			}
+			need[path] = true
 		}
-		if _, err := os.Stat(filepath.Join(srcroot, filepath.FromSlash(path))); err == nil {
-			continue
-		}
-		need = append(need, path)
 	}
-	sort.Strings(need)
-	if len(need) > 0 {
-		listed, err := analysis.GoList(need...)
+	var needList []string
+	for path := range need {
+		needList = append(needList, path)
+	}
+	sort.Strings(needList)
+	if len(needList) > 0 {
+		listed, err := analysis.GoList(needList...)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		for _, p := range listed {
 			if p.ForTest == "" && p.Export != "" {
@@ -135,7 +166,7 @@ func loadFixtures(srcroot string) (*analysis.Checker, error) {
 			}
 		}
 	}
-	return checker, nil
+	return checker, analysis.DependencyOrder(fixtureImports), nil
 }
 
 // An expectation is one regexp from a want comment, anchored to a line.

@@ -1,0 +1,97 @@
+package callgraph
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hmtx/tools/analyzers/analysis"
+)
+
+const src = `package p
+
+type T struct{}
+
+func (t T) m() { leaf() }
+
+func leaf() {}
+
+func mid() { leaf(); lit := func() { top() }; lit() }
+
+func top() {
+	mid()
+	var t T
+	t.m()
+	var i interface{ m() } = t
+	i.m() // interface call: no static edge
+}
+`
+
+func load(t *testing.T) *analysis.Pass {
+	t.Helper()
+	dir := t.TempDir()
+	file := filepath.Join(dir, "p.go")
+	if err := os.WriteFile(file, []byte(src), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	c := analysis.NewChecker()
+	c.AddUnit("p", []string{file})
+	pkg, err := c.Package("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &analysis.Pass{
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		PkgPath:   pkg.PkgPath,
+		TypesInfo: pkg.Info,
+	}
+}
+
+func TestBuildEdges(t *testing.T) {
+	g := Build(load(t))
+	names := func(n *Node) []string {
+		var out []string
+		for _, c := range n.Callees {
+			out = append(out, c.Name())
+		}
+		return out
+	}
+	byName := make(map[string]*Node)
+	for _, n := range g.Nodes {
+		byName[n.Fn.Name()] = n
+	}
+
+	if got := names(byName["top"]); len(got) != 2 || got[0] != "m" || got[1] != "mid" {
+		// m is declared before mid in the source, so position order puts it first.
+		t.Fatalf("top callees = %v, want [m mid] (interface call must not appear)", got)
+	}
+	// Calls inside the function literal are attributed to mid.
+	found := false
+	for _, c := range byName["mid"].Callees {
+		if c.Name() == "top" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("mid callees = %v, want to include top (call inside its literal)", names(byName["mid"]))
+	}
+}
+
+func TestPostOrder(t *testing.T) {
+	g := Build(load(t))
+	pos := make(map[string]int)
+	for i, n := range g.PostOrder() {
+		pos[n.Fn.Name()] = i
+	}
+	if !(pos["leaf"] < pos["mid"]) {
+		t.Errorf("postorder: leaf (%d) must precede mid (%d)", pos["leaf"], pos["mid"])
+	}
+	if !(pos["leaf"] < pos["m"]) {
+		t.Errorf("postorder: leaf (%d) must precede m (%d)", pos["leaf"], pos["m"])
+	}
+	if len(pos) != 4 {
+		t.Errorf("postorder visited %d functions, want 4", len(pos))
+	}
+}

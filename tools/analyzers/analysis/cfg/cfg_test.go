@@ -1,0 +1,159 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// build parses src as the body of a function and returns its CFG.
+func build(t *testing.T, body string) *Graph {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd := file.Decls[0].(*ast.FuncDecl)
+	return New(fd.Body)
+}
+
+// reachable returns the set of blocks reachable from the entry.
+func reachable(g *Graph) map[*Block]bool {
+	seen := make(map[*Block]bool)
+	var visit func(b *Block)
+	visit = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			visit(s)
+		}
+	}
+	visit(g.Entry)
+	return seen
+}
+
+func TestStraightLine(t *testing.T) {
+	g := build(t, "x := 1\n_ = x")
+	if !reachable(g)[g.Exit] {
+		t.Fatal("exit not reachable from entry")
+	}
+	if g.Exit.Index != len(g.Blocks)-1 {
+		t.Fatalf("exit index = %d, want last (%d)", g.Exit.Index, len(g.Blocks)-1)
+	}
+}
+
+func TestPanicTerminates(t *testing.T) {
+	g := build(t, `panic("no")`)
+	if reachable(g)[g.Exit] {
+		t.Fatal("exit reachable past an unconditional panic")
+	}
+}
+
+func TestReturnEdgesToExit(t *testing.T) {
+	g := build(t, "if true {\nreturn\n}\nreturn")
+	r := reachable(g)
+	if !r[g.Exit] {
+		t.Fatal("exit not reachable")
+	}
+	// Both returns must flow to exit: exit has >= 2 predecessors.
+	preds := 0
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			if s == g.Exit {
+				preds++
+			}
+		}
+	}
+	if preds < 2 {
+		t.Fatalf("exit has %d predecessor edges, want >= 2", preds)
+	}
+}
+
+func TestInfiniteLoopWithoutBreak(t *testing.T) {
+	g := build(t, "for {\nf()\n}")
+	if reachable(g)[g.Exit] {
+		t.Fatal("exit reachable past `for {}` with no break")
+	}
+}
+
+func TestLoopBreakReachesExit(t *testing.T) {
+	g := build(t, "for {\nif true {\nbreak\n}\n}")
+	if !reachable(g)[g.Exit] {
+		t.Fatal("break out of `for {}` must reach exit")
+	}
+}
+
+func TestLabeledBreak(t *testing.T) {
+	g := build(t, "outer:\nfor {\nfor {\nbreak outer\n}\n}")
+	if !reachable(g)[g.Exit] {
+		t.Fatal("labeled break out of nested loops must reach exit")
+	}
+}
+
+func TestSwitchWithoutDefaultMayskip(t *testing.T) {
+	// A switch without default can match nothing: the statement after it
+	// must be reachable even though every case returns.
+	g := build(t, "switch x {\ncase 1:\nreturn\n}\nf()")
+	if !reachable(g)[g.Exit] {
+		t.Fatal("statement after non-exhaustive switch must be reachable")
+	}
+}
+
+func TestSelectCommNodes(t *testing.T) {
+	g := build(t, "select {\ncase v := <-ch:\n_ = v\ncase ch2 <- 1:\n}")
+	// Each comm statement must appear as a node in some block.
+	comms := 0
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if u, ok := n.Rhs[0].(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+					comms++
+				}
+			case *ast.SendStmt:
+				comms++
+			}
+		}
+	}
+	if comms != 2 {
+		t.Fatalf("found %d comm nodes, want 2", comms)
+	}
+}
+
+func TestForwardReachingConstancy(t *testing.T) {
+	// A tiny reaching analysis: state is "how many f() calls can have run",
+	// joined by max. The call inside the if must make the exit state
+	// uncertain (join of 0 and 1 -> 1 under max-join with a flag).
+	g := build(t, "if c {\nf()\n}\ng()")
+	type st struct{ lo, hi int }
+	in := Forward(g, st{0, 0},
+		func(b *Block, s st) st {
+			for _, n := range b.Nodes {
+				if es, ok := n.(*ast.ExprStmt); ok {
+					if call, ok := es.X.(*ast.CallExpr); ok {
+						if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "f" {
+							s.lo++
+							s.hi++
+						}
+					}
+				}
+			}
+			return s
+		},
+		func(into, from st, first bool) (st, bool) {
+			if first {
+				return from, true
+			}
+			merged := st{min(into.lo, from.lo), max(into.hi, from.hi)}
+			return merged, merged != into
+		})
+	got := in[g.Exit.Index]
+	if got.lo != 0 || got.hi != 1 {
+		t.Fatalf("exit in-state = %+v, want {lo:0 hi:1}", got)
+	}
+}

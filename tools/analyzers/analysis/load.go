@@ -36,6 +36,9 @@ type ListedPackage struct {
 	CgoFiles     []string
 	TestGoFiles  []string
 	XTestGoFiles []string
+	Imports      []string
+	TestImports  []string
+	XTestImports []string
 	Export       string
 	DepOnly      bool
 	Standard     bool
@@ -73,6 +76,11 @@ func GoList(patterns ...string) ([]*ListedPackage, error) {
 // package from source, including its in-package _test.go files. A package
 // with an external test package (package foo_test) yields a second *Package
 // whose PkgPath carries a "_test" suffix.
+//
+// Packages come back in dependency order — every package after all the
+// loaded packages it imports, ties broken by import path — so a caller
+// running a fact-exporting analyzer over the slice in order gives each
+// package the facts of its dependencies.
 func Load(patterns ...string) ([]*Package, error) {
 	listed, err := GoList(patterns...)
 	if err != nil {
@@ -98,34 +106,114 @@ func Load(patterns ...string) ([]*Package, error) {
 		}
 		targets = append(targets, p)
 	}
-	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
 
 	// Register every target as a source unit first so that imports between
 	// targets (and the external test package's import of its own package)
-	// resolve to the source-checked package, test files included.
+	// resolve to the source-checked package, test files included. Each unit
+	// records which other units it imports, for the dependency sort.
+	unitImports := make(map[string][]string)
+	isUnit := make(map[string]bool)
+	for _, p := range targets {
+		isUnit[p.ImportPath] = true
+		if len(p.XTestGoFiles) > 0 {
+			isUnit[p.ImportPath+"_test"] = true
+		}
+	}
 	for _, p := range targets {
 		files := joinDir(p.Dir, p.GoFiles)
 		files = append(files, joinDir(p.Dir, p.TestGoFiles)...)
 		c.AddUnit(p.ImportPath, files)
+		unitImports[p.ImportPath] = unitEdges(isUnit, p.Imports, p.TestImports)
 		if len(p.XTestGoFiles) > 0 {
-			c.AddUnit(p.ImportPath+"_test", joinDir(p.Dir, p.XTestGoFiles))
+			xpath := p.ImportPath + "_test"
+			c.AddUnit(xpath, joinDir(p.Dir, p.XTestGoFiles))
+			unitImports[xpath] = unitEdges(isUnit, p.XTestImports, []string{p.ImportPath})
 		}
 	}
 
 	var pkgs []*Package
-	for _, p := range targets {
-		for _, path := range []string{p.ImportPath, p.ImportPath + "_test"} {
-			if _, ok := c.units[path]; !ok {
-				continue
-			}
-			pkg, err := c.Package(path)
-			if err != nil {
-				return nil, err
-			}
-			pkgs = append(pkgs, pkg)
+	for _, path := range DependencyOrder(unitImports) {
+		pkg, err := c.Package(path)
+		if err != nil {
+			return nil, err
 		}
+		pkgs = append(pkgs, pkg)
 	}
 	return pkgs, nil
+}
+
+// unitEdges filters the concatenation of the import lists down to loaded
+// units, deduplicated and sorted.
+func unitEdges(isUnit map[string]bool, lists ...[]string) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, list := range lists {
+		for _, imp := range list {
+			if isUnit[imp] && !seen[imp] {
+				seen[imp] = true
+				out = append(out, imp)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DependencyOrder topologically sorts the units (dependencies first), with
+// lexicographic tie-breaking so the order is deterministic. Import cycles
+// cannot occur between valid Go packages; if the edges nonetheless form one
+// (e.g. bad input), the remaining units are appended in name order so every
+// unit is still returned exactly once.
+func DependencyOrder(unitImports map[string][]string) []string {
+	indegree := make(map[string]int, len(unitImports))
+	dependents := make(map[string][]string)
+	for path := range unitImports {
+		indegree[path] = 0
+	}
+	for path, imps := range unitImports {
+		for _, imp := range imps {
+			indegree[path]++
+			dependents[imp] = append(dependents[imp], path)
+		}
+	}
+	var ready []string
+	for path, n := range indegree {
+		if n == 0 {
+			ready = append(ready, path)
+		}
+	}
+	sort.Strings(ready)
+	var order []string
+	for len(ready) > 0 {
+		path := ready[0]
+		ready = ready[1:]
+		order = append(order, path)
+		changed := false
+		for _, dep := range dependents[path] {
+			if indegree[dep]--; indegree[dep] == 0 {
+				ready = append(ready, dep)
+				changed = true
+			}
+		}
+		if changed {
+			sort.Strings(ready)
+		}
+	}
+	if len(order) < len(unitImports) {
+		var rest []string
+		inOrder := make(map[string]bool, len(order))
+		for _, path := range order {
+			inOrder[path] = true
+		}
+		for path := range unitImports {
+			if !inOrder[path] {
+				rest = append(rest, path)
+			}
+		}
+		sort.Strings(rest)
+		order = append(order, rest...)
+	}
+	return order
 }
 
 func joinDir(dir string, names []string) []string {

@@ -1,0 +1,7 @@
+// Package facta is a driver-test fixture: the test analyzer exports a fact
+// on Marked and none on Plain.
+package facta
+
+func Marked() int { return 1 }
+
+func Plain() int { return 2 }

@@ -1,0 +1,7 @@
+// Package factb imports facta: the test analyzer must see, via imported
+// facts, which facta functions were marked.
+package factb
+
+import "facta"
+
+func Use() int { return facta.Marked() + facta.Plain() }

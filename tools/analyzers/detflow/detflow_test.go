@@ -1,0 +1,12 @@
+package detflow_test
+
+import (
+	"testing"
+
+	"hmtx/tools/analyzers/analysis/analysistest"
+	"hmtx/tools/analyzers/detflow"
+)
+
+func TestDetflow(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), detflow.Analyzer, "taintuser")
+}

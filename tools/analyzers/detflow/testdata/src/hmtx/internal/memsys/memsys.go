@@ -1,0 +1,29 @@
+// Package memsys is a stand-in for the simulator's memory system: its
+// structs are simulation-visible state for the detflow fixtures.
+package memsys
+
+// Line is one simulated cache line.
+type Line struct {
+	State int
+	Note  string
+}
+
+// Hierarchy is the simulated cache hierarchy.
+type Hierarchy struct {
+	Lines []Line
+	Note  string
+	Seed  int64
+}
+
+// SetNote stores its argument into simulation-visible state: detflow must
+// summarize the parameter as sink-reaching so tainted call sites are caught.
+func (h *Hierarchy) SetNote(n string) {
+	h.Note = n
+}
+
+// Blend is pure: the result depends on the parameters but nothing reaches a
+// sink, so tainted arguments at call sites are fine unless the result is
+// then stored somewhere visible.
+func Blend(a, b int) int {
+	return a*31 + b
+}

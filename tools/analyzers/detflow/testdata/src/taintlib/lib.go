@@ -1,0 +1,34 @@
+// Package taintlib launders nondeterminism sources through helper
+// functions; nothing in here is a finding by itself, but detflow's
+// summaries must carry the taint to callers in other packages.
+package taintlib
+
+import "time"
+
+// FirstKey leaks map iteration order through a return value.
+func FirstKey(m map[string]int) string {
+	for k := range m {
+		return k
+	}
+	return ""
+}
+
+// Passthrough propagates its parameter to its result.
+func Passthrough(s string) string {
+	return s + "!"
+}
+
+// Stamp returns wall-clock time: its result is inherently tainted.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// Sum is order-insensitive: iterating a map without exposing the order
+// yields an untainted result.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,21 @@
+// Package txhelp holds helpers that touch tracked memory through an env
+// parameter without opening their own epoch: txpath must export TxFacts so
+// callers in other packages are checked at the call site.
+package txhelp
+
+import "hmtx/internal/engine"
+
+// Touch performs a tracked access through e.
+func Touch(e *engine.Env) {
+	e.Store(64, 1)
+}
+
+// Indirect reaches tracked memory through another helper.
+func Indirect(e *engine.Env) {
+	Touch(e)
+}
+
+// Charge does no tracked access: callers may call it with the epoch closed.
+func Charge(e *engine.Env, n int) {
+	e.Produce(9, uint64(n))
+}

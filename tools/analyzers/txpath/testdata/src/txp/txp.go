@@ -1,0 +1,143 @@
+// Package txp exercises txpath: MTX lifecycle violations on some path must
+// be reported, and the repository's blessed pipeline idioms must not be.
+package txp
+
+import (
+	"hmtx/internal/engine"
+	"txhelp"
+)
+
+// LeakyBranch is the seeded self-test of ISSUE 6: the else path returns
+// with the epoch still open.
+func LeakyBranch(e *engine.Env, n int) {
+	e.Begin(1) // want `transaction opened here may reach function return with the epoch still open`
+	if n > 0 {
+		e.Commit(1)
+	}
+}
+
+// BalancedBranches closes the epoch differently on every arm: clean.
+func BalancedBranches(e *engine.Env, n int) {
+	e.Begin(1)
+	switch n {
+	case 0:
+		e.Commit(1)
+	case 1:
+		e.Abort(1)
+	default:
+		e.Begin(0)
+	}
+}
+
+// DeferredClose discharges the exit obligation: clean.
+func DeferredClose(e *engine.Env, seq engine.Seq) {
+	defer e.Commit(seq)
+	e.Begin(seq)
+	e.Store(1, 2)
+}
+
+// ReuseAfterCommit begins a VID that already committed.
+func ReuseAfterCommit(e *engine.Env) {
+	e.Begin(1)
+	e.Commit(1)
+	e.Begin(1) // want `Begin reuses VID 1, which already committed on this path`
+	e.Commit(1)
+}
+
+// LoopStale never rebinds seq, so the second iteration reuses a committed
+// VID.
+func LoopStale(e *engine.Env, seq engine.Seq, n int) {
+	for i := 0; i < n; i++ {
+		e.Begin(seq) // want `Begin reuses VID \(variable\), which already committed on this path`
+		e.Commit(seq)
+	}
+}
+
+// LoopFresh rebinds seq every iteration and detaches instead of
+// committing — the stage-1 pipeline idiom: clean.
+func LoopFresh(e *engine.Env, n int) {
+	for it := 0; it < n; it++ {
+		seq := engine.Seq(it + 1)
+		e.Begin(seq)
+		e.Store(1, uint64(it))
+		e.Begin(0)
+		e.Produce(1, uint64(seq))
+	}
+	e.CloseQueue(1)
+}
+
+// DoubleBegin opens a second transaction with the first still open.
+func DoubleBegin(e *engine.Env) {
+	e.Begin(1)
+	e.Begin(2) // want `Begin while transaction 1 is still open on this path`
+	e.Commit(2)
+}
+
+// MismatchedCommit commits a different VID than the open epoch.
+func MismatchedCommit(e *engine.Env) {
+	e.Begin(4)
+	e.Commit(5) // want `Commit of VID 5 while transaction 4 is open on this path`
+}
+
+// SquashSuccessor aborts the next VID after committing its own — the
+// early-exit squash idiom: clean.
+func SquashSuccessor(e *engine.Env, seq engine.Seq) {
+	e.Begin(seq)
+	e.Commit(seq)
+	e.Abort(seq + 1)
+}
+
+// CommitProcess commits in order with no epoch of its own — the SMTX
+// commit-process idiom: clean.
+func CommitProcess(e *engine.Env, last engine.Seq) {
+	expected := engine.Seq(1)
+	for expected <= last {
+		e.Commit(expected)
+		expected++
+	}
+}
+
+// AccessOutside touches tracked memory after the epoch closed.
+func AccessOutside(e *engine.Env) {
+	e.Begin(1)
+	e.Commit(1)
+	e.Store(8, 9) // want `tracked memory access outside an open transaction epoch on this path`
+}
+
+// touchLocal is a same-package helper summarized by a TxFact.
+func touchLocal(e *engine.Env) {
+	e.Store(16, 1)
+}
+
+// AccessOutsideViaHelper reaches tracked memory through a same-package
+// helper with the epoch closed.
+func AccessOutsideViaHelper(e *engine.Env) {
+	e.Begin(2)
+	e.Commit(2)
+	touchLocal(e) // want `tracked memory access outside an open transaction epoch on this path`
+}
+
+// AccessOutsideViaImport reaches tracked memory through an imported
+// helper, two calls deep, with the epoch closed.
+func AccessOutsideViaImport(e *engine.Env) {
+	e.Begin(3)
+	e.Commit(3)
+	txhelp.Indirect(e) // want `tracked memory access outside an open transaction epoch on this path`
+}
+
+// HelperInsideEpoch calls the same helpers with the epoch open: clean.
+func HelperInsideEpoch(e *engine.Env) {
+	e.Begin(7)
+	touchLocal(e)
+	txhelp.Touch(e)
+	e.Commit(7)
+	txhelp.Charge(e, 3) // no tracked access inside: legal while closed
+}
+
+// NonSpeculative never opens an epoch, like workload stages and the
+// sequential baseline: tracked accesses are legal.
+func NonSpeculative(e *engine.Env, it int) bool {
+	v := e.Load(uint64(it))
+	e.Store(uint64(it), v+1)
+	return v < 100
+}

@@ -1,0 +1,12 @@
+package txpath_test
+
+import (
+	"testing"
+
+	"hmtx/tools/analyzers/analysis/analysistest"
+	"hmtx/tools/analyzers/txpath"
+)
+
+func TestTxpath(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), txpath.Analyzer, "txp")
+}

@@ -102,6 +102,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	//hmtx:detsafe perfsnap snapshots deliberately record host wall-clock and CPU metadata; profdiff compares cycle counts, never these fields
 	if err := benchfmt.Write(f, doc); err != nil {
 		log.Fatal(err)
 	}
