@@ -5,6 +5,8 @@
 //
 //	experiments [-scale N] [-cores N] [-parallel N] [-only fig8,table1,...]
 //	            [-ablations] [-json BENCH_run.json] [-prof PROF_run.json]
+//	            [-series SERIES_run.json] [-series-window N]
+//	            [-conflicts CONFLICTS_run.json] [-hist HIST_run.json]
 //	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // With no -only list it runs everything: Figure 1, Figure 2, Table 1,
@@ -13,8 +15,12 @@
 // a deterministic "hmtx-bench/v1" document (see EXPERIMENTS.md for how to
 // diff two of them); -prof attaches the cycle-attribution profiler to every
 // simulation and writes the suite's profiles as an "hmtx-prof/v1" document
-// (inspect or diff them with cmd/hmtxprof). Both documents are byte-identical
-// at every -parallel setting.
+// (inspect or diff them with cmd/hmtxprof). -series, -conflicts and -hist
+// attach the DESIGN.md §15 metric instruments to every simulation and write
+// the suite's time-series ("hmtx-series/v1"), conflict-graph
+// ("hmtx-conflicts/v1") and latency-histogram ("hmtx-hist/v1") documents,
+// which cmd/hmtxreport turns into an HTML report. All documents are
+// byte-identical at every -parallel setting.
 package main
 
 import (
@@ -42,6 +48,10 @@ func main() {
 	quiet := flag.Bool("q", false, "suppress progress output")
 	jsonOut := flag.String("json", "", "write the raw measurements as deterministic JSON to this file")
 	profOut := flag.String("prof", "", "profile every simulation and write the hmtx-prof/v1 document to this file")
+	seriesOut := flag.String("series", "", "sample every simulation and write the hmtx-series/v1 document to this file")
+	seriesWindow := flag.Int64("series-window", 0, "time-series sampling window in simulated cycles (0 = default)")
+	conflictsOut := flag.String("conflicts", "", "record abort edges and write the hmtx-conflicts/v1 document to this file")
+	histOut := flag.String("hist", "", "collect latency histograms and write the hmtx-hist/v1 document to this file")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
@@ -72,7 +82,12 @@ func main() {
 		}()
 	}
 
-	cfg := experiments.Config{Scale: *scale, Cores: *cores, Parallelism: *parallel, Profile: *profOut != ""}
+	metricsOn := *seriesOut != "" || *conflictsOut != "" || *histOut != ""
+	cfg := experiments.Config{
+		Scale: *scale, Cores: *cores, Parallelism: *parallel,
+		Profile: *profOut != "",
+		Metrics: metricsOn, MetricsWindow: *seriesWindow,
+	}
 	want := map[string]bool{}
 	for _, k := range strings.Split(*only, ",") {
 		if k = strings.TrimSpace(k); k != "" {
@@ -88,7 +103,7 @@ func main() {
 		fmt.Println(experiments.Fig1(*cores))
 	}
 
-	needSuite := *jsonOut != "" || *profOut != "" ||
+	needSuite := *jsonOut != "" || *profOut != "" || metricsOn ||
 		pick("fig2") || pick("fig8") || pick("fig9") || pick("table1") || pick("table3")
 	if needSuite {
 		var progress io.Writer = os.Stderr
@@ -119,6 +134,30 @@ func main() {
 			if err := f.Close(); err != nil {
 				log.Fatal(err)
 			}
+		}
+		writeDoc := func(path string, doc any) {
+			if path == "" {
+				return
+			}
+			f, err := os.Create(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := experiments.WriteAnyJSON(f, doc); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if *seriesOut != "" {
+			writeDoc(*seriesOut, experiments.BuildSeriesDoc(cfg, results))
+		}
+		if *conflictsOut != "" {
+			writeDoc(*conflictsOut, experiments.BuildConflictDoc(cfg, results))
+		}
+		if *histOut != "" {
+			writeDoc(*histOut, experiments.BuildHistDoc(cfg, results))
 		}
 		if pick("table1") {
 			fmt.Println(experiments.Table1(results))

@@ -16,7 +16,8 @@
 // ambient randomness (noclock), no cache-line protocol mutation outside
 // internal/memsys (statemut), no unguarded trace emission on the
 // simulator fast path (tracegate), no unguarded profiler charges there
-// either (profgate) — plus the transactional-API rules: every engine.Env
+// either (profgate), and no unguarded metric-instrument records there
+// (metricsgate) — plus the transactional-API rules: every engine.Env
 // Begin matched by Commit/Abort/Begin(0) with no escaping handles
 // (txbalance), model-checker snapshot methods covering every field of
 // the structs they fingerprint (statefp), and the whole-program rules:
@@ -39,6 +40,7 @@ import (
 	"hmtx/tools/analyzers/analysis"
 	"hmtx/tools/analyzers/detflow"
 	"hmtx/tools/analyzers/detrange"
+	"hmtx/tools/analyzers/metricsgate"
 	"hmtx/tools/analyzers/noclock"
 	"hmtx/tools/analyzers/profgate"
 	"hmtx/tools/analyzers/statefp"
@@ -51,6 +53,7 @@ import (
 var analyzers = []*analysis.Analyzer{
 	detflow.Analyzer,
 	detrange.Analyzer,
+	metricsgate.Analyzer,
 	noclock.Analyzer,
 	profgate.Analyzer,
 	statefp.Analyzer,

@@ -1,0 +1,275 @@
+package main
+
+import (
+	"fmt"
+	"html/template"
+	"strings"
+
+	"hmtx/internal/metrics"
+	"hmtx/internal/prof"
+)
+
+// chartLine is one polyline of a chart: a named value sequence index-aligned
+// with the chart's cycle axis.
+type chartLine struct {
+	Name   string
+	Color  string
+	Values []float64
+}
+
+// palette is the fixed line-color rotation; a fixed palette keeps the HTML
+// byte-identical across runs.
+var palette = [...]string{"#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd", "#8c564b"}
+
+// svgChart renders one deterministic inline-SVG line chart: no scripts, no
+// external references. Returns an empty string when there is nothing to plot.
+func svgChart(title string, cycles []int64, lines []chartLine) template.HTML {
+	const (
+		w, h          = 720, 190
+		mLeft, mRight = 60, 10
+		mTop, mBottom = 24, 22
+		plotW, plotH  = w - mLeft - mRight, h - mTop - mBottom
+	)
+	if len(cycles) < 2 {
+		return ""
+	}
+	var yMax float64
+	for _, l := range lines {
+		for _, v := range l.Values {
+			if v > yMax {
+				yMax = v
+			}
+		}
+	}
+	if yMax == 0 {
+		yMax = 1
+	}
+	x0, x1 := float64(cycles[0]), float64(cycles[len(cycles)-1])
+	if x1 == x0 {
+		x1 = x0 + 1
+	}
+	xAt := func(c int64) float64 { return mLeft + (float64(c)-x0)/(x1-x0)*plotW }
+	yAt := func(v float64) float64 { return mTop + (1-v/yMax)*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg width="%d" height="%d" viewBox="0 0 %d %d" role="img">`, w, h, w, h)
+	fmt.Fprintf(&b, `<text x="%d" y="14" class="ct">%s</text>`, mLeft, template.HTMLEscapeString(title))
+	// Axes and y-gridlines at 0, 1/2 and max.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" class="ax"/>`, mLeft, mTop, mLeft, mTop+plotH)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" class="ax"/>`, mLeft, mTop+plotH, mLeft+plotW, mTop+plotH)
+	for _, f := range []float64{0, 0.5, 1} {
+		y := yAt(yMax * f)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" class="gr"/>`, mLeft, y, mLeft+plotW, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" class="tl" text-anchor="end">%.0f</text>`, mLeft-4, y+4, yMax*f)
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d" class="tl">%d</text>`, mLeft, h-6, cycles[0])
+	fmt.Fprintf(&b, `<text x="%d" y="%d" class="tl" text-anchor="end">%d cycles</text>`, mLeft+plotW, h-6, cycles[len(cycles)-1])
+	for li, l := range lines {
+		var pts strings.Builder
+		for i, v := range l.Values {
+			if i > 0 {
+				pts.WriteByte(' ')
+			}
+			fmt.Fprintf(&pts, "%.1f,%.1f", xAt(cycles[i]), yAt(v))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.5"/>`, pts.String(), l.Color)
+		// Legend swatch + name, laid out left to right under the title.
+		lx := mLeft + 150*li
+		fmt.Fprintf(&b, `<rect x="%d" y="18" width="9" height="3" fill="%s"/>`, lx+70, l.Color)
+		fmt.Fprintf(&b, `<text x="%d" y="23" class="tl">%s</text>`, lx+84, template.HTMLEscapeString(l.Name))
+	}
+	b.WriteString(`</svg>`)
+	return template.HTML(b.String())
+}
+
+// deltas converts a cumulative column to per-window deltas (rates).
+func deltas(vals []uint64) []float64 {
+	out := make([]float64, len(vals))
+	for i, v := range vals {
+		if i > 0 {
+			out[i] = float64(v) - float64(vals[i-1])
+		} else {
+			out[i] = float64(v)
+		}
+	}
+	return out
+}
+
+// seriesView is one series' rendered chart set.
+type seriesView struct {
+	Label  string
+	Charts []template.HTML
+}
+
+// seriesCharts builds the chart set of one series: commit/abort rates, the
+// validation-vs-commit cycle split (the §6 shift), and speculative occupancy.
+func seriesCharts(sr *metrics.Series) seriesView {
+	v := seriesView{Label: sr.Label}
+	add := func(title string, lines []chartLine) {
+		var any bool
+		for _, l := range lines {
+			if l.Values != nil {
+				any = true
+			}
+		}
+		if !any {
+			return
+		}
+		if c := svgChart(title, sr.Cycles, lines); c != "" {
+			v.Charts = append(v.Charts, c)
+		}
+	}
+	line := func(i int, name, col string, f func([]uint64) []float64) chartLine {
+		vals := sr.Col(col)
+		if vals == nil {
+			return chartLine{Name: name, Color: palette[i%len(palette)]}
+		}
+		return chartLine{Name: name, Color: palette[i%len(palette)], Values: f(vals)}
+	}
+	raw := func(vals []uint64) []float64 {
+		out := make([]float64, len(vals))
+		for i, x := range vals {
+			out[i] = float64(x)
+		}
+		return out
+	}
+	add("Commit throughput and aborts (per window)", []chartLine{
+		line(0, "commits", "txs_committed", deltas),
+		line(1, "aborts", "aborts", deltas),
+	})
+	add("Validation vs commit cycles (per window)", []chartLine{
+		line(0, "validation", "validation_cycles", deltas),
+		line(1, "commit", "commit_cycles", deltas),
+	})
+	add("Speculative cache-line occupancy", []chartLine{
+		line(2, "spec lines", "spec_lines", raw),
+	})
+	add("Commit stall cycles (per window)", []chartLine{
+		line(3, "commit stalls", "commit_stall_cycles", deltas),
+	})
+	return v
+}
+
+// heatRow is one row of the per-line heatmap with its precomputed cell shade.
+type heatRow struct {
+	Line  prof.LineProfile
+	Shade template.CSS
+}
+
+// profView is one profile's heatmap rendering.
+type profView struct {
+	Label string
+	Rows  []heatRow
+}
+
+func profViews(doc *prof.Doc) []profView {
+	var out []profView
+	for i := range doc.Profiles {
+		p := &doc.Profiles[i]
+		v := profView{Label: p.Label}
+		var max int64
+		for _, l := range p.HotLines {
+			if t := l.AccessCycles + l.WastedCycles; t > max {
+				max = t
+			}
+		}
+		if max == 0 {
+			max = 1
+		}
+		for _, l := range p.HotLines {
+			// Shade intensity follows the line's share of the hottest
+			// line's cycles; two decimals keep the bytes stable.
+			alpha := float64(l.AccessCycles+l.WastedCycles) / float64(max)
+			shade := template.CSS(fmt.Sprintf("background:rgba(214,39,40,%.2f)", alpha*0.6))
+			v.Rows = append(v.Rows, heatRow{Line: l, Shade: shade})
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+var reportTmpl = template.Must(template.New("report").Parse(`<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>{{.Title}}</title>
+<style>
+body { font-family: sans-serif; margin: 2em; color: #222; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.15em; margin-top: 2em; } h3 { font-size: 1em; }
+table { border-collapse: collapse; margin: 0.5em 0; }
+th, td { border: 1px solid #ccc; padding: 2px 8px; font-size: 0.85em; text-align: right; }
+th { background: #f0f0f0; } td:first-child, th:first-child { text-align: left; }
+svg { margin: 0.5em 0; }
+svg .ct { font-size: 12px; font-weight: bold; }
+svg .tl { font-size: 10px; fill: #555; }
+svg .ax { stroke: #333; stroke-width: 1; }
+svg .gr { stroke: #ddd; stroke-width: 0.5; }
+.empty { color: #777; font-style: italic; }
+</style>
+</head>
+<body>
+<h1>{{.Title}}</h1>
+{{if .Series}}<h2>Time series</h2>
+{{range .Series}}<h3>{{.Label}}</h3>
+{{if .Charts}}{{range .Charts}}{{.}}
+{{end}}{{else}}<p class="empty">not enough samples to chart</p>{{end}}
+{{end}}{{end}}
+{{if .Conflicts}}<h2>Conflicts</h2>
+{{range .Conflicts}}<h3>{{.Label}}</h3>
+<p>{{.Nodes}} transactions, {{len .Edges}} abort edges, {{len .Cascades}} cascades (window {{.Window}} cycles)</p>
+{{if .Cascades}}<table>
+<tr><th>cascade</th><th>start</th><th>end</th><th>edges</th><th>transactions</th></tr>
+{{range $i, $c := .Cascades}}<tr><td>{{$i}}</td><td>{{$c.Start}}</td><td>{{$c.End}}</td><td>{{$c.Edges}}</td><td>{{range $j, $t := $c.Txs}}{{if $j}}, {{end}}{{$t}}{{end}}</td></tr>
+{{end}}</table>{{end}}
+{{if .TopAddrs}}<table>
+<tr><th>line</th><th>edges</th><th>conflicts</th><th>SLA</th><th>overflow</th><th>explicit</th></tr>
+{{range .TopAddrs}}<tr><td>{{.Addr}}</td><td>{{.Total}}</td><td>{{.Conflicts}}</td><td>{{.SLAs}}</td><td>{{.Overflows}}</td><td>{{.Explicits}}</td></tr>
+{{end}}</table>{{end}}
+{{end}}{{end}}
+{{if .Hists}}<h2>Latency</h2>
+{{range .Hists}}<h3>{{.Label}}</h3>
+<table>
+<tr><th>histogram</th><th>count</th><th>mean</th><th>p50</th><th>p95</th><th>p99</th><th>p999</th><th>max</th></tr>
+{{range .Hists}}<tr><td>{{.Name}}</td><td>{{.Total}}</td>{{if .Total}}<td>{{.Mean}}</td><td>{{.P50}}</td><td>{{.P95}}</td><td>{{.P99}}</td><td>{{.P999}}</td><td>{{.Max}}</td>{{else}}<td>-</td><td>-</td><td>-</td><td>-</td><td>-</td><td>-</td>{{end}}</tr>
+{{end}}</table>
+{{end}}{{end}}
+{{if .Profs}}<h2>Per-line heatmap</h2>
+{{range .Profs}}<h3>{{.Label}}</h3>
+{{if .Rows}}<table>
+<tr><th>line</th><th>conflicts</th><th>overflows</th><th>peer transfers</th><th>access cycles</th><th>wasted cycles</th></tr>
+{{range .Rows}}<tr style="{{.Shade}}"><td>{{.Line.Addr}}</td><td>{{.Line.Conflicts}}</td><td>{{.Line.Overflows}}</td><td>{{.Line.PeerTransfers}}</td><td>{{.Line.AccessCycles}}</td><td>{{.Line.WastedCycles}}</td></tr>
+{{end}}</table>{{else}}<p class="empty">no hot lines</p>{{end}}
+{{end}}{{end}}
+</body>
+</html>
+`))
+
+// html renders the full self-contained report.
+func (r *report) html() (string, error) {
+	data := struct {
+		Title     string
+		Series    []seriesView
+		Conflicts []metrics.Graph
+		Hists     []metrics.LabeledHists
+		Profs     []profView
+	}{Title: r.Title}
+	if r.SeriesDoc != nil {
+		for i := range r.SeriesDoc.Series {
+			data.Series = append(data.Series, seriesCharts(&r.SeriesDoc.Series[i]))
+		}
+	}
+	if r.ConflictDoc != nil {
+		data.Conflicts = r.ConflictDoc.Graphs
+	}
+	if r.HistDoc != nil {
+		data.Hists = r.HistDoc.Histograms
+	}
+	if r.ProfDoc != nil {
+		data.Profs = profViews(r.ProfDoc)
+	}
+	var b strings.Builder
+	if err := reportTmpl.Execute(&b, data); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}

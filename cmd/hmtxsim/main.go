@@ -10,6 +10,9 @@
 //	        [-trace] [-trace-cats bus,txn,...] [-trace-out trace.json]
 //	        [-stats] [-stats-json stats.json]
 //	        [-prof] [-prof-out prof.json] [-prof-folded prof.folded]
+//	        [-series series.json] [-series-window 2048]
+//	        [-conflicts conflicts.json] [-conflicts-dot conflicts.dot]
+//	        [-cascade-window 512] [-hist hist.json]
 //	        [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Observability (DESIGN.md §10): -trace streams a gem5-style text log of the
@@ -26,6 +29,14 @@
 // flamegraph tooling. All outputs are byte-identical across runs of the same
 // configuration.
 //
+// Metrics (DESIGN.md §15): -series samples the run's counters every
+// -series-window simulated cycles into an "hmtx-series/v1" time-series
+// document; -conflicts records every who-aborted-whom edge and writes the
+// "hmtx-conflicts/v1" conflict graph (with -conflicts-dot for a Graphviz
+// rendering, cascades detected within -cascade-window cycles); -hist collects
+// transaction latency histograms into an "hmtx-hist/v1" document. All three
+// feed cmd/hmtxreport.
+//
 // hmtxsim -list prints the available benchmarks.
 package main
 
@@ -40,6 +51,7 @@ import (
 
 	"hmtx/internal/engine"
 	"hmtx/internal/hmtx"
+	"hmtx/internal/metrics"
 	"hmtx/internal/obs"
 	"hmtx/internal/paradigm"
 	"hmtx/internal/prof"
@@ -98,6 +110,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	profText := fs.Bool("prof", false, "attribute every simulated cycle to a bucket and print the profile")
 	profOut := fs.String("prof-out", "", "write the cycle profile as an hmtx-prof/v1 document to this file")
 	profFolded := fs.String("prof-folded", "", "write the cycle profile as folded stacks (flamegraph input) to this file")
+	seriesOut := fs.String("series", "", "write a windowed hmtx-series/v1 time-series document to this file")
+	seriesWindow := fs.Int64("series-window", 0, "time-series sampling window in simulated cycles (0 = default)")
+	conflictsOut := fs.String("conflicts", "", "write the hmtx-conflicts/v1 conflict-graph document to this file")
+	conflictsDOT := fs.String("conflicts-dot", "", "write the conflict graph in Graphviz dot syntax to this file")
+	cascadeWindow := fs.Int64("cascade-window", 0, "abort-cascade detection window in simulated cycles (0 = default)")
+	histOut := fs.String("hist", "", "write the hmtx-hist/v1 latency-histogram document to this file")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write an allocation profile to this file on exit")
 	list := fs.Bool("list", false, "list benchmarks and exit")
@@ -225,6 +243,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if *profText || *profOut != "" || *profFolded != "" {
 		target.SetProf(prof.New())
+	}
+
+	if *seriesOut != "" {
+		// The sampler's validation/commit columns read the profiler's live
+		// buckets, so sampling implies profiling (a pure observer: it does
+		// not change the simulated execution).
+		if !target.Prof().Enabled() {
+			target.SetProf(prof.New())
+		}
+		target.SetSeries(metrics.NewSampler(*seriesWindow))
+	}
+	if *conflictsOut != "" || *conflictsDOT != "" {
+		target.SetConflicts(metrics.NewRecorder(*cascadeWindow))
+	}
+	if *histOut != "" {
+		target.SetLatHists(metrics.NewLatHists())
 	}
 
 	// Sequential reference for the speedup.
@@ -365,6 +399,56 @@ func run(args []string, stdout, stderr io.Writer) int {
 			if err := f.Close(); err != nil {
 				return fail("%v", err)
 			}
+		}
+	}
+
+	writeJSON := func(path string, v any) error {
+		buf, err := json.MarshalIndent(v, "", "  ")
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(path, append(buf, '\n'), 0o644)
+	}
+	label := spec.Name + "/" + *system
+
+	if target.Series().Enabled() {
+		target.FlushSeries()
+		sr := target.Series().Snapshot(label)
+		fmt.Fprintf(stdout, "time series:      %d samples at window %d -> %s\n",
+			len(sr.Cycles), sr.Window, *seriesOut)
+		doc := metrics.SeriesDoc{Schema: metrics.SeriesSchema, Scale: *scale, Cores: *cores,
+			Series: []metrics.Series{sr}}
+		if err := writeJSON(*seriesOut, doc); err != nil {
+			return fail("%v", err)
+		}
+	}
+
+	if target.Conflicts().Enabled() {
+		g := target.Conflicts().Snapshot(label)
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, g.Text())
+		if *conflictsOut != "" {
+			doc := metrics.ConflictDoc{Schema: metrics.ConflictSchema, Scale: *scale, Cores: *cores,
+				Graphs: []metrics.Graph{g}}
+			if err := writeJSON(*conflictsOut, doc); err != nil {
+				return fail("%v", err)
+			}
+		}
+		if *conflictsDOT != "" {
+			if err := os.WriteFile(*conflictsDOT, []byte(g.DOT()), 0o644); err != nil {
+				return fail("%v", err)
+			}
+		}
+	}
+
+	if target.LatHists().Enabled() {
+		lh := target.LatHists().Snapshot(label)
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, lh.Text())
+		doc := metrics.HistDoc{Schema: metrics.HistSchema, Scale: *scale, Cores: *cores,
+			Histograms: []metrics.LabeledHists{lh}}
+		if err := writeJSON(*histOut, doc); err != nil {
+			return fail("%v", err)
 		}
 	}
 	return 0

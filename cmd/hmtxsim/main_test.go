@@ -133,3 +133,120 @@ func TestRunBadInput(t *testing.T) {
 		t.Errorf("missing bench: exit %d", code)
 	}
 }
+
+// TestRunMetricsOutputs verifies the -series/-conflicts/-hist flags: each
+// writes a well-formed schema-tagged document, the DOT output is valid dot
+// syntax, and all are byte-identical across identical runs.
+func TestRunMetricsOutputs(t *testing.T) {
+	do := func(system string) (series, conflicts, hist, dot []byte) {
+		dir := t.TempDir()
+		sp := filepath.Join(dir, "series.json")
+		cp := filepath.Join(dir, "conflicts.json")
+		hp := filepath.Join(dir, "hist.json")
+		dp := filepath.Join(dir, "conflicts.dot")
+		var out, errb bytes.Buffer
+		code := run([]string{"-bench", "052.alvinn", "-system", system, "-cores", "4",
+			"-series", sp, "-series-window", "1024",
+			"-conflicts", cp, "-conflicts-dot", dp, "-hist", hp}, &out, &errb)
+		if code != 0 {
+			t.Fatalf("exit %d, stderr: %s", code, errb.String())
+		}
+		read := func(p string) []byte {
+			buf, err := os.ReadFile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return buf
+		}
+		return read(sp), read(cp), read(hp), read(dp)
+	}
+
+	s1, c1, h1, d1 := do("hmtx")
+	s2, c2, h2, d2 := do("hmtx")
+	for _, eq := range []struct {
+		name string
+		a, b []byte
+	}{{"series", s1, s2}, {"conflicts", c1, c2}, {"hist", h1, h2}, {"dot", d1, d2}} {
+		if !bytes.Equal(eq.a, eq.b) {
+			t.Errorf("%s differs across identical runs", eq.name)
+		}
+	}
+
+	var sd struct {
+		Schema string `json:"schema"`
+		Series []struct {
+			Label  string  `json:"label"`
+			Cycles []int64 `json:"cycles"`
+			Cols   []struct {
+				Name string `json:"name"`
+			} `json:"columns"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal(s1, &sd); err != nil {
+		t.Fatalf("series JSON: %v", err)
+	}
+	if sd.Schema != "hmtx-series/v1" || len(sd.Series) != 1 {
+		t.Fatalf("series doc = %+v", sd)
+	}
+	if sd.Series[0].Label != "052.alvinn/hmtx" || len(sd.Series[0].Cycles) == 0 {
+		t.Errorf("series = %+v", sd.Series[0])
+	}
+	names := map[string]bool{}
+	for _, c := range sd.Series[0].Cols {
+		names[c.Name] = true
+	}
+	for _, want := range []string{"instructions", "txs_committed", "aborts", "validation_cycles", "commit_cycles"} {
+		if !names[want] {
+			t.Errorf("series missing column %q", want)
+		}
+	}
+
+	var cd struct {
+		Schema string `json:"schema"`
+		Graphs []struct {
+			Edges []any `json:"edges"`
+		} `json:"graphs"`
+	}
+	if err := json.Unmarshal(c1, &cd); err != nil {
+		t.Fatalf("conflicts JSON: %v", err)
+	}
+	if cd.Schema != "hmtx-conflicts/v1" || len(cd.Graphs) != 1 {
+		t.Fatalf("conflict doc = %+v", cd)
+	}
+	if cd.Graphs[0].Edges == nil {
+		t.Error("edges should be [] even when empty, not null")
+	}
+
+	var hd struct {
+		Schema     string `json:"schema"`
+		Histograms []struct {
+			Hists []struct {
+				Name  string `json:"name"`
+				Total uint64 `json:"total"`
+			} `json:"hists"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(h1, &hd); err != nil {
+		t.Fatalf("hist JSON: %v", err)
+	}
+	if hd.Schema != "hmtx-hist/v1" || len(hd.Histograms) != 1 || len(hd.Histograms[0].Hists) != 3 {
+		t.Fatalf("hist doc = %+v", hd)
+	}
+	if hd.Histograms[0].Hists[0].Name != "open_to_commit" || hd.Histograms[0].Hists[0].Total == 0 {
+		t.Errorf("open_to_commit hist = %+v", hd.Histograms[0].Hists[0])
+	}
+
+	if !strings.HasPrefix(string(d1), "digraph") || !strings.HasSuffix(string(d1), "}\n") {
+		t.Errorf("dot output malformed:\n%s", d1)
+	}
+
+	// SMTX runs must populate the validation histogram (§2.3): the paradigm
+	// shift hmtxreport charts.
+	_, _, hs, _ := do("smtx-min")
+	if err := json.Unmarshal(hs, &hd); err != nil {
+		t.Fatal(err)
+	}
+	if hd.Histograms[0].Hists[1].Name != "validation" || hd.Histograms[0].Hists[1].Total == 0 {
+		t.Errorf("smtx-min validation hist = %+v", hd.Histograms[0].Hists[1])
+	}
+}

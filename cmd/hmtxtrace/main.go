@@ -1,10 +1,18 @@
 // Command hmtxtrace summarises a Chrome trace_event JSON file produced by
 // hmtxsim -trace-out: events per category, the hottest cache lines, the
-// abort-cause attribution, and transaction commit-latency statistics.
+// abort-cause attribution, transaction commit-latency statistics, and the
+// per-VID attempt ledger (aborted vs committed attempts, rebuilt by feeding
+// the trace back through the obs.TxCollector).
 //
 // Usage:
 //
-//	hmtxtrace [-top N] trace.json
+//	hmtxtrace [-top N] [-prof profile.json] trace.json
+//
+// With -prof, the trace-derived ledger is cross-checked against the
+// profile's re-execution records (hmtx-prof/v1, DESIGN.md §13): the two
+// instruments observe aborted attempts independently — the tracer from the
+// event stream, the profiler from its charge sites — so any per-VID
+// disagreement means one of them lost an attempt. A mismatch exits 1.
 package main
 
 import (
@@ -17,6 +25,7 @@ import (
 	"strconv"
 
 	"hmtx/internal/obs"
+	"hmtx/internal/prof"
 	"hmtx/internal/stats"
 )
 
@@ -43,11 +52,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("hmtxtrace", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	top := fs.Int("top", 10, "number of hottest lines to show")
+	profPath := fs.String("prof", "", "hmtx-prof/v1 profile to cross-check per-VID aborted attempts against")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if fs.NArg() != 1 {
-		fmt.Fprintln(stderr, "usage: hmtxtrace [-top N] trace.json")
+		fmt.Fprintln(stderr, "usage: hmtxtrace [-top N] [-prof profile.json] trace.json")
 		return 2
 	}
 	fail := func(format string, a ...any) int {
@@ -153,5 +163,141 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	fmt.Fprint(stdout, tt.String())
+
+	// Per-VID attempt ledger: replay the transaction events through the real
+	// collector, so the attempt/abort semantics are obs.TxCollector's, not a
+	// reimplementation that could drift.
+	col := obs.NewTxCollector()
+	for i := range evs {
+		e, ok := collectorEvent(&evs[i])
+		if !ok {
+			continue
+		}
+		col.Emit(e)
+	}
+	attempts := attemptLedger(col)
+	if len(attempts) > 0 {
+		var at stats.Table
+		at.Add("vid", "aborted attempts", "committed", "total attempts")
+		for _, a := range attempts {
+			at.AddF(a.vid, a.aborted, a.committed, a.aborted+a.committed)
+		}
+		fmt.Fprintf(stdout, "\nre-executed transactions (trace-derived):\n\n%s", at.String())
+	}
+
+	if *profPath != "" {
+		f, err := os.Open(*profPath)
+		if err != nil {
+			return fail("%v", err)
+		}
+		doc, err := prof.ReadDoc(f)
+		f.Close()
+		if err != nil {
+			return fail("%v", err)
+		}
+		if len(doc.Profiles) == 0 {
+			return fail("%s has no profiles", *profPath)
+		}
+		p := &doc.Profiles[0]
+		if bad := crossCheck(attempts, p); len(bad) > 0 {
+			fmt.Fprintf(stdout, "\ncross-check against %s (%s): MISMATCH\n", *profPath, p.Label)
+			for _, m := range bad {
+				fmt.Fprintf(stdout, "  %s\n", m)
+			}
+			return 1
+		}
+		fmt.Fprintf(stdout, "\ncross-check against %s (%s): ok (%d re-executed VID(s) agree)\n",
+			*profPath, p.Label, len(attempts))
+	}
 	return 0
+}
+
+// collectorEvent maps one Chrome record back to the obs.Event the sink
+// serialised, for the kinds the transaction collector consumes. tx_commit is
+// a complete ("X") event whose ts was shifted back by its duration, so the
+// commit cycle is ts+dur and the latency is the duration itself.
+func collectorEvent(ev *traceEvent) (obs.Event, bool) {
+	e := obs.Event{Core: 0, VID: ev.Args.VID, Arg: ev.Args.Arg, Cycle: ev.TS}
+	switch ev.Name {
+	case "tx_begin":
+		e.Kind = obs.KTxBegin
+	case "tx_commit":
+		e.Kind = obs.KTxCommit
+		e.Cycle = ev.TS + ev.Dur
+		e.Arg = uint64(ev.Dur)
+	case "tx_abort":
+		e.Kind = obs.KTxAbort
+		e.Note = ev.Args.Note
+	case "commit_resume":
+		e.Kind = obs.KCommitResume
+	default:
+		return obs.Event{}, false
+	}
+	return e, true
+}
+
+// vidAttempts is one VID's attempt counts; only VIDs with at least one
+// rolled-back attempt are reported (a clean first-try commit is the
+// uninteresting common case, and it is what the profiler records too).
+type vidAttempts struct {
+	vid                uint64
+	aborted, committed int
+}
+
+// attemptLedger aggregates the collector's records per VID, ascending.
+func attemptLedger(col *obs.TxCollector) []vidAttempts {
+	per := make(map[uint64]*vidAttempts)
+	vids := []uint64{}
+	get := func(vid uint64) *vidAttempts {
+		a, ok := per[vid]
+		if !ok {
+			a = &vidAttempts{vid: vid}
+			per[vid] = a
+			vids = append(vids, vid)
+		}
+		return a
+	}
+	for _, t := range col.Aborted() {
+		get(t.VID).aborted++
+	}
+	for _, t := range col.Committed() {
+		get(t.VID).committed++
+	}
+	sort.Slice(vids, func(i, j int) bool { return vids[i] < vids[j] })
+	out := []vidAttempts{}
+	for _, v := range vids {
+		if a := per[v]; a.aborted > 0 {
+			out = append(out, *a)
+		}
+	}
+	return out
+}
+
+// crossCheck compares the trace-derived ledger with the profile's
+// re-execution records and returns one message per disagreement. The two
+// must agree VID for VID: same set of re-executed VIDs, same aborted-attempt
+// counts.
+func crossCheck(attempts []vidAttempts, p *prof.Profile) []string {
+	var bad []string
+	traceBy := make(map[uint64]int, len(attempts))
+	for _, a := range attempts {
+		traceBy[a.vid] = a.aborted
+	}
+	profBy := make(map[uint64]int, len(p.ReexecutedTxs))
+	for _, t := range p.ReexecutedTxs {
+		profBy[t.VID] = t.AbortedAttempts
+		got, ok := traceBy[t.VID]
+		switch {
+		case !ok:
+			bad = append(bad, fmt.Sprintf("vid %d: profile has %d aborted attempt(s), trace has none", t.VID, t.AbortedAttempts))
+		case got != t.AbortedAttempts:
+			bad = append(bad, fmt.Sprintf("vid %d: profile has %d aborted attempt(s), trace has %d", t.VID, t.AbortedAttempts, got))
+		}
+	}
+	for _, a := range attempts {
+		if _, ok := profBy[a.vid]; !ok {
+			bad = append(bad, fmt.Sprintf("vid %d: trace has %d aborted attempt(s), profile has none", a.vid, a.aborted))
+		}
+	}
+	return bad
 }

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"hmtx/internal/obs"
+	"hmtx/internal/prof"
 )
 
 // writeTrace generates a Chrome trace via the real sink, so the summariser
@@ -81,5 +82,121 @@ func TestBadInput(t *testing.T) {
 	}
 	if code := run([]string{bad}, &out, &errb); code != 1 {
 		t.Errorf("bad JSON: exit %d", code)
+	}
+}
+
+// writeAbortTrace emits a run where VID 3 is rolled back twice before its
+// third attempt commits, and VID 4 is rolled back once, through the real
+// sink — so the ledger rebuild is tested against real serialisation,
+// including the commit event's ts-shifting.
+func writeAbortTrace(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "trace.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.NewTracer(obs.CatAll, 0)
+	tr.Attach(obs.NewChromeSink(f))
+	cycle := int64(100)
+	for attempt := 0; attempt < 2; attempt++ {
+		tr.SetTime(cycle)
+		tr.Emit(obs.Event{Kind: obs.KTxBegin, Core: 0, VID: 3})
+		tr.Emit(obs.Event{Kind: obs.KTxBegin, Core: 1, VID: 4})
+		tr.SetTime(cycle + 50)
+		if attempt == 1 { // second time around, VID 4 commits before the abort
+			tr.Emit(obs.Event{Kind: obs.KTxCommit, Core: 1, VID: 4, Arg: 50})
+		}
+		tr.SetTime(cycle + 80)
+		tr.Emit(obs.Event{Kind: obs.KTxAbort, Core: 0, VID: 3, Note: "store vid 3 to line 0x40 already accessed by vid 4"})
+		cycle += 100
+	}
+	tr.SetTime(cycle)
+	tr.Emit(obs.Event{Kind: obs.KTxBegin, Core: 0, VID: 3})
+	tr.SetTime(cycle + 60)
+	tr.Emit(obs.Event{Kind: obs.KTxCommit, Core: 0, VID: 3, Arg: 60})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// writeProf writes a one-profile hmtx-prof/v1 document whose re-execution
+// records carry the given per-VID aborted-attempt counts.
+func writeProf(t *testing.T, reexec []prof.TxProfile) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "prof.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := prof.Doc{Schema: prof.Schema, Profiles: []prof.Profile{{
+		Label: "wl/hmtx", ReexecutedTxs: reexec,
+	}}}
+	if err := prof.WriteDoc(f, doc); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestAttemptLedger(t *testing.T) {
+	path := writeAbortTrace(t)
+	var out, errb bytes.Buffer
+	if code := run([]string{path}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "re-executed transactions (trace-derived)") {
+		t.Fatalf("ledger table missing:\n%s", s)
+	}
+	// VID 3: 2 aborted + 1 committed = 3 attempts; VID 4: 1 aborted + 1
+	// committed = 2. Match whole table rows so a column swap cannot pass.
+	for _, want := range []string{"3    2", "4    1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("ledger missing row %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestProfCrossCheck(t *testing.T) {
+	trace := writeAbortTrace(t)
+
+	good := writeProf(t, []prof.TxProfile{
+		{VID: 3, AbortedAttempts: 2, WastedCycles: 160},
+		{VID: 4, AbortedAttempts: 1, WastedCycles: 80},
+	})
+	var out, errb bytes.Buffer
+	if code := run([]string{"-prof", good, trace}, &out, &errb); code != 0 {
+		t.Fatalf("agreeing cross-check failed (exit %d):\n%s%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "cross-check") || !strings.Contains(out.String(), "ok (2 re-executed VID(s) agree)") {
+		t.Errorf("cross-check verdict missing:\n%s", out.String())
+	}
+
+	// Wrong count for VID 3 and a VID the trace never aborted: both named.
+	bad := writeProf(t, []prof.TxProfile{
+		{VID: 3, AbortedAttempts: 1},
+		{VID: 9, AbortedAttempts: 1},
+	})
+	out.Reset()
+	if code := run([]string{"-prof", bad, trace}, &out, &errb); code != 1 {
+		t.Fatalf("disagreeing cross-check: exit %d, want 1", code)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"MISMATCH",
+		"vid 3: profile has 1 aborted attempt(s), trace has 2",
+		"vid 9: profile has 1 aborted attempt(s), trace has none",
+		"vid 4: trace has 1 aborted attempt(s), profile has none",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("mismatch report missing %q:\n%s", want, s)
+		}
 	}
 }

@@ -1,0 +1,80 @@
+package engine
+
+import (
+	"hmtx/internal/metrics"
+	"hmtx/internal/prof"
+)
+
+// SetSeries installs the windowed time-series sampler (nil disables it) and
+// registers the standard probe set. The engine drives the sampler from its
+// event loop: every scheduler event ticks it with the global simulated cycle
+// (the cumulative cycles of completed runs plus the current core clock), so
+// one row is appended per crossed window boundary. Probes read only simulated
+// counters and the scheduler always runs the earliest-clock core, so the row
+// sequence is identical for identical configurations.
+//
+// The validation_cycles and commit_cycles columns read the profiler's live
+// bucket totals and stay zero unless a collector is installed (SetProf);
+// callers that want them populated attach both instruments.
+func (s *System) SetSeries(sm *metrics.Sampler) {
+	s.series = sm
+	if sm.Enabled() {
+		ms := s.Mem.Stats()
+		sm.Probe("instructions", func() uint64 { return s.stats.Instructions })
+		sm.Probe("txs_committed", func() uint64 { return s.stats.Txs })
+		sm.Probe("aborts", func() uint64 {
+			return s.stats.AbortsConflict + s.stats.AbortsOverflow + s.stats.AbortsSLA +
+				s.stats.AbortsExplicit + s.stats.AbortsOther
+		})
+		sm.Probe("commit_stall_cycles", func() uint64 { return s.stats.CommitStallCycles })
+		sm.Probe("bus_messages", func() uint64 { return ms.BusMessages })
+		sm.Probe("spec_lines", func() uint64 { return s.Mem.SpecOccupancy() })
+		sm.Probe("validation_cycles", func() uint64 {
+			if s.prof.Enabled() {
+				return uint64(s.prof.Live(prof.Validation))
+			}
+			return 0
+		})
+		sm.Probe("commit_cycles", func() uint64 {
+			if s.prof.Enabled() {
+				return uint64(s.prof.Live(prof.Commit))
+			}
+			return 0
+		})
+	}
+}
+
+// Series returns the installed sampler (possibly nil).
+func (s *System) Series() *metrics.Sampler { return s.series }
+
+// FlushSeries takes one final sample at the current global simulated cycle,
+// capturing the tail of the execution past the last window boundary. Callers
+// invoke it once after the workload (including recovery runs) completes.
+func (s *System) FlushSeries() {
+	if s.series.Enabled() {
+		s.series.Flush(s.cumCycles)
+	}
+}
+
+// SetConflicts installs the causal conflict recorder on the system and its
+// memory hierarchy (nil disables recording). The engine owns simulated time
+// and stamps the recorder at every scheduler event; the memory system records
+// the who-aborted-whom edges at the points where the protocol detects
+// misspeculation, and the engine itself records software abortMTX edges.
+func (s *System) SetConflicts(r *metrics.Recorder) {
+	s.conflicts = r
+	s.Mem.SetConflicts(r)
+}
+
+// Conflicts returns the installed recorder (possibly nil).
+func (s *System) Conflicts() *metrics.Recorder { return s.conflicts }
+
+// SetLatHists installs the latency-histogram bundle (nil disables it): epoch
+// open→commit latency observed at every transaction commit,
+// validation-batch latency observed at every ComputeValidation charge, and
+// commit-arbitration stall observed at every commit (zero when the commit
+// never parked).
+func (s *System) SetLatHists(l *metrics.LatHists) { s.lat = l }
+
+// LatHists returns the installed histogram bundle (possibly nil).
+func (s *System) LatHists() *metrics.LatHists { return s.lat }

@@ -1,0 +1,221 @@
+package engine
+
+import (
+	"encoding/json"
+	"testing"
+
+	"hmtx/internal/metrics"
+	"hmtx/internal/vid"
+)
+
+// conflictingPair is the §4.3 flow-dependence violation schedule: core 0
+// reads a line with a high VID, core 1 then stores to it with a lower VID.
+func conflictingPair() []Program {
+	p0 := func(e *Env) {
+		e.Begin(2)
+		e.Load(0x1000)
+		e.Compute(100000)
+		e.Commit(2)
+	}
+	p1 := func(e *Env) {
+		e.Compute(5000)
+		e.Begin(1)
+		e.Store(0x1000, 7)
+		e.Commit(1)
+	}
+	return []Program{p0, p1}
+}
+
+// TestConflictRecorderCapturesAbortEdge verifies the memsys hook: a store
+// dependence violation records a who-aborted-whom edge with the storing VID
+// as aborter, the marked later VID as victim, and the conflicting line.
+func TestConflictRecorderCapturesAbortEdge(t *testing.T) {
+	s := newSys()
+	rec := metrics.NewRecorder(0)
+	s.SetConflicts(rec)
+
+	res := s.Run(conflictingPair())
+	if !res.Aborted {
+		t.Fatal("conflicting schedule must abort")
+	}
+	edges := rec.Edges()
+	if len(edges) == 0 {
+		t.Fatal("no conflict edges recorded")
+	}
+	e := edges[0]
+	if e.Aborter != 1 || e.Victim != 2 {
+		t.Errorf("edge = tx%d -> tx%d, want tx1 -> tx2", e.Aborter, e.Victim)
+	}
+	if e.Addr != 0x1000 {
+		t.Errorf("edge addr = %#x, want 0x1000", e.Addr)
+	}
+	if e.Kind != metrics.EdgeConflict {
+		t.Errorf("edge kind = %s, want conflict", e.Kind)
+	}
+	if e.Cycle <= 0 {
+		t.Errorf("edge cycle = %d, want > 0 (stamped from simulated time)", e.Cycle)
+	}
+}
+
+// TestConflictRecorderExplicitAbort verifies the engine hook for software
+// abortMTX: the victim aborts itself.
+func TestConflictRecorderExplicitAbort(t *testing.T) {
+	s := newSys()
+	rec := metrics.NewRecorder(0)
+	s.SetConflicts(rec)
+
+	s.Run([]Program{func(e *Env) {
+		e.Begin(1)
+		e.Store(0x100, 1)
+		e.Abort(1)
+	}})
+	edges := rec.Edges()
+	if len(edges) != 1 {
+		t.Fatalf("edges = %+v, want one explicit edge", edges)
+	}
+	if edges[0].Kind != metrics.EdgeExplicit || edges[0].Aborter != 1 || edges[0].Victim != 1 {
+		t.Errorf("edge = %+v, want explicit tx1 -> tx1", edges[0])
+	}
+}
+
+// TestSeriesSamplerOverRun verifies the engine drives the sampler from its
+// event loop: a compute-heavy run at a small window yields multiple rows with
+// nondecreasing cycles and a monotone instruction column.
+func TestSeriesSamplerOverRun(t *testing.T) {
+	s := newSys()
+	sm := metrics.NewSampler(500)
+	s.SetSeries(sm)
+
+	s.Run([]Program{func(e *Env) {
+		e.Begin(1)
+		e.Compute(5000)
+		e.Store(0x100, 1)
+		e.Commit(1)
+	}})
+	s.FlushSeries()
+
+	if sm.Rows() < 5 {
+		t.Fatalf("rows = %d, want >= 5 over a 5000-cycle run at window 500", sm.Rows())
+	}
+	sr := sm.Snapshot("t")
+	instr := sr.Col("instructions")
+	if instr == nil {
+		t.Fatal("no instructions column")
+	}
+	for i := 1; i < len(sr.Cycles); i++ {
+		if sr.Cycles[i] <= sr.Cycles[i-1] {
+			t.Fatalf("cycles not increasing: %v", sr.Cycles)
+		}
+		if instr[i] < instr[i-1] {
+			t.Fatalf("instructions not monotone: %v", instr)
+		}
+	}
+	if last := instr[len(instr)-1]; last < 5000 {
+		t.Errorf("final instructions = %d, want >= 5000", last)
+	}
+	if committed := sr.Col("txs_committed"); committed[len(committed)-1] != 1 {
+		t.Errorf("final txs_committed = %d, want 1", committed[len(committed)-1])
+	}
+}
+
+// TestSeriesSamplerSpansRuns verifies that the global-time base accumulates
+// across Run calls, so a multi-run workload produces one continuous series.
+func TestSeriesSamplerSpansRuns(t *testing.T) {
+	s := newSys()
+	sm := metrics.NewSampler(200)
+	s.SetSeries(sm)
+
+	for i := 0; i < 3; i++ {
+		s.Run([]Program{func(e *Env) { e.Compute(1000) }})
+	}
+	s.FlushSeries()
+
+	sr := sm.Snapshot("t")
+	if len(sr.Cycles) == 0 {
+		t.Fatal("no samples")
+	}
+	if last := sr.Cycles[len(sr.Cycles)-1]; last < 3000 {
+		t.Errorf("last sample at cycle %d, want >= 3000 (cumulative across runs)", last)
+	}
+	for i := 1; i < len(sr.Cycles); i++ {
+		if sr.Cycles[i] <= sr.Cycles[i-1] {
+			t.Fatalf("cycles not increasing across runs: %v", sr.Cycles)
+		}
+	}
+}
+
+// TestLatHistsObserveCommits verifies the latency hooks: every committed
+// transaction contributes an open→commit observation and a commit-arbitration
+// observation.
+func TestLatHistsObserveCommits(t *testing.T) {
+	s := newSys()
+	l := metrics.NewLatHists()
+	s.SetLatHists(l)
+
+	res := s.Run([]Program{func(e *Env) {
+		for i := uint64(1); i <= 4; i++ {
+			e.Begin(vid.Seq(i))
+			e.Compute(50)
+			e.Store(0x100, i)
+			e.Commit(vid.Seq(i))
+		}
+	}})
+	if res.Aborted {
+		t.Fatalf("aborted: %s", res.Cause)
+	}
+	if l.Open.Total() != 4 {
+		t.Errorf("open_to_commit total = %d, want 4", l.Open.Total())
+	}
+	if l.CommitArb.Total() != 4 {
+		t.Errorf("commit_arbitration total = %d, want 4", l.CommitArb.Total())
+	}
+	if l.Open.Quantile(0.5) < 50 {
+		t.Errorf("open_to_commit p50 = %d, want >= 50 (the compute span)", l.Open.Quantile(0.5))
+	}
+}
+
+// TestMetricsDeterminism verifies the §15 determinism contract end to end:
+// two identical executions yield byte-identical series, conflict, and
+// histogram JSON.
+func TestMetricsDeterminism(t *testing.T) {
+	runOnce := func() (series, conflicts, hists []byte) {
+		s := newSys()
+		sm := metrics.NewSampler(500)
+		rec := metrics.NewRecorder(0)
+		l := metrics.NewLatHists()
+		s.SetSeries(sm)
+		s.SetConflicts(rec)
+		s.SetLatHists(l)
+
+		s.Run(conflictingPair())
+		s.Run([]Program{func(e *Env) {
+			e.Begin(1)
+			e.Store(0x1000, 7)
+			e.Commit(1)
+			e.Begin(2)
+			e.Load(0x1000)
+			e.Commit(2)
+		}})
+		s.FlushSeries()
+
+		mustJSON := func(v any) []byte {
+			b, err := json.Marshal(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return b
+		}
+		return mustJSON(sm.Snapshot("t")), mustJSON(rec.Snapshot("t")), mustJSON(l.Snapshot("t"))
+	}
+	s1, c1, h1 := runOnce()
+	s2, c2, h2 := runOnce()
+	if string(s1) != string(s2) {
+		t.Errorf("series JSON differs:\n%s\n%s", s1, s2)
+	}
+	if string(c1) != string(c2) {
+		t.Errorf("conflict JSON differs:\n%s\n%s", c1, c2)
+	}
+	if string(h1) != string(h2) {
+		t.Errorf("hist JSON differs:\n%s\n%s", h1, h2)
+	}
+}

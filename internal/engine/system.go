@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"hmtx/internal/memsys"
+	"hmtx/internal/metrics"
 	"hmtx/internal/obs"
 	"hmtx/internal/prof"
 	"hmtx/internal/vid"
@@ -147,6 +148,16 @@ type System struct {
 	tracer *obs.Tracer     // nil when tracing is disabled (obs.go)
 	prof   *prof.Collector // nil when profiling is disabled (prof.go)
 
+	// Temporal/causal instruments (metrics.go); each is nil when disabled.
+	series    *metrics.Sampler
+	conflicts *metrics.Recorder
+	lat       *metrics.LatHists
+
+	// cumCycles is the summed makespan of completed runs: the global-time
+	// base added to a core clock to stamp metrics with monotone simulated
+	// time across recovery runs.
+	cumCycles int64
+
 	// Histograms registered by Register (obs.go); nil until then.
 	histCommitLat *obs.Histogram
 	histReadSet   *obs.Histogram
@@ -260,6 +271,7 @@ func (s *System) Run(programs []Program) RunResult {
 		// work done for rolled-back transactions to the wasted bucket.
 		s.prof.RunEnd(cycles, s.abortCause != "", uint64(s.lastCommitted))
 	}
+	s.cumCycles += cycles
 	return RunResult{
 		Cycles:        cycles,
 		Aborted:       s.abortCause != "",
@@ -321,6 +333,12 @@ func (s *System) handle(c *core, r request) {
 	// Stamp subsequent trace events (including the memory system's, which
 	// has no clock of its own) with the issuing core's time.
 	s.tracer.SetTime(c.time)
+	if s.series.Enabled() {
+		s.series.Tick(s.cumCycles + c.time)
+	}
+	if s.conflicts.Enabled() {
+		s.conflicts.SetTime(s.cumCycles + c.time)
+	}
 	if r.kind == reqDone {
 		c.done = true
 		c.finish = c.time
@@ -381,6 +399,9 @@ func (s *System) handle(c *core, r request) {
 		if s.prof.Enabled() {
 			s.prof.Charge(c.id, uint64(c.curSeq), r.tag, int64(r.val))
 		}
+		if s.lat.Enabled() && r.tag == prof.Validation {
+			s.lat.Validation.Observe(r.val)
+		}
 		c.resp <- response{}
 
 	case reqBranch:
@@ -400,10 +421,20 @@ func (s *System) handle(c *core, r request) {
 			s.park(c, parkCommit, r)
 			return
 		}
+		if s.lat.Enabled() {
+			// The commit proceeded without parking: zero arbitration
+			// stall, recorded so the percentiles cover every commit.
+			s.lat.CommitArb.Observe(0)
+		}
 		s.doCommit(c, r.seq)
 		c.resp <- response{}
 
 	case reqAbortTx:
+		if s.conflicts.Enabled() {
+			// A software abort: the transaction rolled itself back.
+			s.conflicts.SetTime(s.cumCycles + c.time)
+			s.conflicts.Record(uint64(r.seq), uint64(r.seq), 0, metrics.EdgeExplicit)
+		}
 		s.triggerAbort(fmt.Sprintf("explicit abortMTX by core %d (seq %d)", c.id, r.seq), c)
 
 	case reqProduce:
@@ -600,6 +631,9 @@ func (s *System) doCommit(c *core, seq vid.Seq) {
 			s.histReadSet.Observe(rb)
 			s.histWriteSet.Observe(wb)
 		}
+		if s.lat.Enabled() {
+			s.lat.Open.Observe(uint64(lat))
+		}
 		if s.tracer.Enabled(obs.CatTxn) {
 			s.tracer.SetTime(c.time)
 			s.tracer.Emit(obs.Event{Kind: obs.KTxCommit, Core: int32(c.id), VID: uint64(seq), Arg: uint64(lat)})
@@ -767,6 +801,9 @@ func (s *System) retryParked(live []*core) {
 						stall = 0
 					}
 					s.stats.CommitStallCycles += uint64(stall)
+					if s.lat.Enabled() {
+						s.lat.CommitArb.Observe(uint64(stall))
+					}
 					if s.tracer.Enabled(obs.CatCommit) {
 						s.tracer.SetTime(c.time)
 						s.tracer.Emit(obs.Event{Kind: obs.KCommitResume, Core: int32(c.id), VID: uint64(r.seq), Arg: uint64(stall)})

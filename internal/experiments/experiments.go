@@ -16,6 +16,7 @@ import (
 	"hmtx/internal/engine"
 	"hmtx/internal/hmtx"
 	"hmtx/internal/memsys"
+	"hmtx/internal/metrics"
 	"hmtx/internal/paradigm"
 	"hmtx/internal/power"
 	"hmtx/internal/prof"
@@ -41,6 +42,16 @@ type Config struct {
 	// so profiles — like all other results — are identical at any
 	// Parallelism.
 	Profile bool
+	// Metrics attaches the DESIGN.md §15 instruments — the windowed
+	// time-series sampler, the conflict recorder, and the latency
+	// histograms — to every simulation and fills the BenchResult *Metrics
+	// fields. Sampling implies profiling (the validation/commit columns
+	// read the profiler's live buckets). Each unit owns its instruments,
+	// so the documents are identical at any Parallelism.
+	Metrics bool
+	// MetricsWindow is the time-series sampling window in simulated cycles
+	// (0 = metrics.DefaultWindow).
+	MetricsWindow int64
 }
 
 // Default returns the evaluation configuration.
@@ -70,8 +81,56 @@ type BenchResult struct {
 
 	// Cycle-attribution profiles, only present when Config.Profile is set
 	// (and, for the SMTX pair, when Spec.HasSMTX).
-	SeqProf, HMTXProf       *prof.Profile
+	SeqProf, HMTXProf        *prof.Profile
 	SMTXMinProf, SMTXMaxProf *prof.Profile
+
+	// Metric-set snapshots, only present when Config.Metrics is set (and,
+	// for the SMTX pair, when Spec.HasSMTX).
+	SeqMetrics, HMTXMetrics        *MetricSet
+	SMTXMinMetrics, SMTXMaxMetrics *MetricSet
+}
+
+// MetricSet bundles one system run's metric snapshots (DESIGN.md §15),
+// labelled "benchmark/system".
+type MetricSet struct {
+	Series    metrics.Series
+	Conflicts metrics.Graph
+	Hists     metrics.LabeledHists
+}
+
+// metricSets returns the result's metric sets in the canonical system order
+// (seq, hmtx, smtx-min, smtx-max); absent sets are nil.
+func (r *BenchResult) metricSets() []*MetricSet {
+	return []*MetricSet{r.SeqMetrics, r.HMTXMetrics, r.SMTXMinMetrics, r.SMTXMaxMetrics}
+}
+
+// instrument attaches the metric instruments to a unit's system when
+// Config.Metrics is set. Like the profiler, the instruments are pure
+// observers: they never change the simulated execution.
+func instrument(cfg Config, sys *engine.System) {
+	if !cfg.Metrics {
+		return
+	}
+	if !sys.Prof().Enabled() {
+		sys.SetProf(prof.New())
+	}
+	sys.SetSeries(metrics.NewSampler(cfg.MetricsWindow))
+	sys.SetConflicts(metrics.NewRecorder(0))
+	sys.SetLatHists(metrics.NewLatHists())
+}
+
+// metricSnapshot captures a unit's metric set (nil when metrics are off).
+func metricSnapshot(cfg Config, sys *engine.System, r *BenchResult, system string) *MetricSet {
+	if !cfg.Metrics {
+		return nil
+	}
+	sys.FlushSeries()
+	label := r.Spec.Name + "/" + system
+	return &MetricSet{
+		Series:    sys.Series().Snapshot(label),
+		Conflicts: sys.Conflicts().Snapshot(label),
+		Hists:     sys.LatHists().Snapshot(label),
+	}
 }
 
 // HotSpeedupHMTX returns the hot-loop speedup of HMTX over sequential.
@@ -112,11 +171,13 @@ func runSeq(cfg Config, r *BenchResult) {
 	if cfg.Profile {
 		sys.SetProf(prof.New())
 	}
+	instrument(cfg, sys)
 	loop := r.Spec.New(cfg.Scale)
 	loop.Setup(sys.Mem)
 	r.SeqCycles = paradigm.RunSequential(sys, loop)
 	r.SeqAct = activity(r.SeqCycles, sys.Stats(), sys.Mem.Stats())
 	r.SeqProf = snapshot(sys, r, "seq", paradigm.Sequential)
+	r.SeqMetrics = metricSnapshot(cfg, sys, r, "seq")
 }
 
 // snapshot captures the system's profile (nil when profiling is off).
@@ -135,6 +196,7 @@ func runHMTX(cfg Config, r *BenchResult) {
 	if cfg.Profile {
 		sys.SetProf(prof.New())
 	}
+	instrument(cfg, sys)
 	loop := r.Spec.New(cfg.Scale)
 	loop.Setup(sys.Mem)
 	r.HMTXOut = hmtx.Run(sys, loop, r.Spec.Paradigm, cfg.Cores)
@@ -142,6 +204,7 @@ func runHMTX(cfg Config, r *BenchResult) {
 	r.HMTXMem = *sys.Mem.Stats()
 	r.HMTXAct = activity(r.HMTXOut.Cycles, sys.Stats(), sys.Mem.Stats())
 	r.HMTXProf = snapshot(sys, r, "hmtx", r.Spec.Paradigm)
+	r.HMTXMetrics = metricSnapshot(cfg, sys, r, "hmtx")
 }
 
 // runSMTX measures SMTX with the given read/write-set mode, writing only the
@@ -151,6 +214,7 @@ func runSMTX(cfg Config, r *BenchResult, mode smtx.Mode) {
 	if cfg.Profile {
 		sys.SetProf(prof.New())
 	}
+	instrument(cfg, sys)
 	loop := r.Spec.New(cfg.Scale)
 	loop.Setup(sys.Mem)
 	out := smtx.Run(sys, loop, r.Spec.Paradigm, cfg.Cores, mode, smtx.DefaultConfig())
@@ -158,9 +222,11 @@ func runSMTX(cfg Config, r *BenchResult, mode smtx.Mode) {
 	if mode == smtx.MaxSet {
 		r.SMTXMaxOut, r.SMTXMaxAct = out, act
 		r.SMTXMaxProf = snapshot(sys, r, "smtx-max", r.Spec.Paradigm)
+		r.SMTXMaxMetrics = metricSnapshot(cfg, sys, r, "smtx-max")
 	} else {
 		r.SMTXMinOut, r.SMTXMinAct = out, act
 		r.SMTXMinProf = snapshot(sys, r, "smtx-min", r.Spec.Paradigm)
+		r.SMTXMinMetrics = metricSnapshot(cfg, sys, r, "smtx-min")
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"hmtx/internal/hmtx"
+	"hmtx/internal/metrics"
 	"hmtx/internal/prof"
 	"hmtx/internal/stats"
 )
@@ -91,6 +92,61 @@ func BuildDoc(cfg Config, results []BenchResult) Doc {
 
 // WriteJSON writes the document as indented JSON with a trailing newline.
 func WriteJSON(w io.Writer, doc Doc) error {
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	_, err = w.Write(buf)
+	return err
+}
+
+// BuildSeriesDoc collects the suite's time-series snapshots into one
+// hmtx-series/v1 document, in spec order with the per-benchmark system order
+// seq, hmtx, smtx-min, smtx-max. Results from a Config without Metrics set
+// produce an empty series list.
+func BuildSeriesDoc(cfg Config, results []BenchResult) metrics.SeriesDoc {
+	doc := metrics.SeriesDoc{Schema: metrics.SeriesSchema, Scale: cfg.Scale, Cores: cfg.Cores}
+	for i := range results {
+		for _, m := range results[i].metricSets() {
+			if m != nil {
+				doc.Series = append(doc.Series, m.Series)
+			}
+		}
+	}
+	return doc
+}
+
+// BuildConflictDoc collects the suite's conflict graphs into one
+// hmtx-conflicts/v1 document, in the same order as BuildSeriesDoc.
+func BuildConflictDoc(cfg Config, results []BenchResult) metrics.ConflictDoc {
+	doc := metrics.ConflictDoc{Schema: metrics.ConflictSchema, Scale: cfg.Scale, Cores: cfg.Cores}
+	for i := range results {
+		for _, m := range results[i].metricSets() {
+			if m != nil {
+				doc.Graphs = append(doc.Graphs, m.Conflicts)
+			}
+		}
+	}
+	return doc
+}
+
+// BuildHistDoc collects the suite's latency histograms into one hmtx-hist/v1
+// document, in the same order as BuildSeriesDoc.
+func BuildHistDoc(cfg Config, results []BenchResult) metrics.HistDoc {
+	doc := metrics.HistDoc{Schema: metrics.HistSchema, Scale: cfg.Scale, Cores: cfg.Cores}
+	for i := range results {
+		for _, m := range results[i].metricSets() {
+			if m != nil {
+				doc.Histograms = append(doc.Histograms, m.Hists)
+			}
+		}
+	}
+	return doc
+}
+
+// WriteAnyJSON writes any document as indented JSON with a trailing newline.
+func WriteAnyJSON(w io.Writer, doc any) error {
 	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err

@@ -85,3 +85,44 @@ func TestParallelProgressCoversUnits(t *testing.T) {
 		t.Errorf("parallel progress has %d lines, want 4:\n%s", got, out)
 	}
 }
+
+// TestParallelMetricsDeterminism extends the determinism contract to the
+// DESIGN.md §15 metric documents: series, conflict, and histogram JSON must
+// be byte-identical between a serial and a pooled suite run.
+func TestParallelMetricsDeterminism(t *testing.T) {
+	specs := subset(t)[:2]
+
+	docsBytes := func(parallelism int) [3][]byte {
+		cfg := Default()
+		cfg.Parallelism = parallelism
+		cfg.Metrics = true
+		cfg.MetricsWindow = 1024
+		results := RunSpecs(cfg, specs, nil)
+		var out [3][]byte
+		for i, doc := range []any{
+			BuildSeriesDoc(cfg, results),
+			BuildConflictDoc(cfg, results),
+			BuildHistDoc(cfg, results),
+		} {
+			var buf bytes.Buffer
+			if err := WriteAnyJSON(&buf, doc); err != nil {
+				t.Fatal(err)
+			}
+			out[i] = buf.Bytes()
+		}
+		return out
+	}
+
+	serial := docsBytes(1)
+	parallel := docsBytes(8)
+	for i, name := range []string{"series", "conflicts", "hist"} {
+		if !bytes.Equal(serial[i], parallel[i]) {
+			t.Errorf("parallel %s JSON differs from serial", name)
+		}
+	}
+	// The metric sets must actually be populated, in canonical order.
+	if !bytes.Contains(serial[0], []byte(`"label": "ispell/seq"`)) ||
+		!bytes.Contains(serial[0], []byte(`"label": "ispell/hmtx"`)) {
+		t.Error("series doc missing expected labels")
+	}
+}

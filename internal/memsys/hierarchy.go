@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"hmtx/internal/metrics"
 	"hmtx/internal/obs"
 	"hmtx/internal/prof"
 	"hmtx/internal/vid"
@@ -17,18 +18,19 @@ import (
 // one of {some L1, the L2} at a time, except for SpecShared (and Shared)
 // copies, which may replicate a version held elsewhere.
 type Hierarchy struct {
-	cfg      Config
-	l1s      []*cache
-	l2       *cache
-	all      []*cache // every cache: l1s in core order, then l2 (built once in New)
-	mem      *memory
-	lc       vid.V  // latest committed VID (LC VID register, §5.3)
-	epoch    uint64 // VID epoch, advanced by VID Reset (§4.6)
-	lruClock uint64
-	stats    Stats
-	tracker  Tracker
-	tracer   *obs.Tracer     // nil when tracing is disabled (obs.go)
-	prof     *prof.Collector // nil when profiling is disabled (prof.go)
+	cfg       Config
+	l1s       []*cache
+	l2        *cache
+	all       []*cache // every cache: l1s in core order, then l2 (built once in New)
+	mem       *memory
+	lc        vid.V  // latest committed VID (LC VID register, §5.3)
+	epoch     uint64 // VID epoch, advanced by VID Reset (§4.6)
+	lruClock  uint64
+	stats     Stats
+	tracker   Tracker
+	tracer    *obs.Tracer       // nil when tracing is disabled (obs.go)
+	prof      *prof.Collector   // nil when profiling is disabled (prof.go)
+	conflicts *metrics.Recorder // nil when conflict recording is disabled (metrics.go)
 
 	// gen is the coherence generation, bumped whenever (epoch, lc) moves or
 	// an abort sweep rewrites lines. Each cache set records the generation
@@ -495,6 +497,12 @@ func (h *Hierarchy) Store(core int, addr Addr, val uint64, a vid.V) Result {
 		if h.prof.Enabled() {
 			h.prof.LineConflict(la)
 		}
+		if h.conflicts.Enabled() {
+			// The storing transaction is the aborter: its late store
+			// invalidates the later transaction that already read or
+			// wrote the line (the victim of the rollback).
+			h.conflicts.Record(h.seqOf(a), h.seqOf(maxHigh), uint64(la), metrics.EdgeConflict)
+		}
 		return res
 	}
 
@@ -656,6 +664,12 @@ func (h *Hierarchy) SLA(core int, addr Addr, a vid.V, expected uint64) Result {
 		res.Cause = fmt.Sprintf("SLA mismatch at %#x vid %d: loaded %#x, now %#x", addr, a, expected, val)
 		if h.prof.Enabled() {
 			h.prof.LineConflict(LineAddr(addr))
+		}
+		if h.conflicts.Enabled() {
+			// The conflicting store already retired, so hardware cannot
+			// name the aborter; the victim is the acknowledging load's
+			// transaction.
+			h.conflicts.Record(0, h.seqOf(a), uint64(LineAddr(addr)), metrics.EdgeSLA)
 		}
 	}
 	return res
@@ -994,6 +1008,11 @@ func (h *Hierarchy) placeVictim(v Line, from *cache) {
 		h.pendingOverflow = true
 		if h.prof.Enabled() {
 			h.prof.LineOverflow(v.Tag)
+		}
+		if h.conflicts.Enabled() {
+			// Capacity, not contention: the machine evicted the victim
+			// transaction's speculative line past the last-level cache.
+			h.conflicts.Record(0, h.seqOf(v.Mod), uint64(v.Tag), metrics.EdgeOverflow)
 		}
 		if h.tracer.Enabled(obs.CatOverflow) {
 			h.tracer.Emit(obs.Event{Kind: obs.KOverflowAbort, Core: -1, Addr: uint64(v.Tag), VID: uint64(v.Mod)})

@@ -150,3 +150,23 @@ func TestSettleSkipStamp(t *testing.T) {
 		t.Fatalf("invariants: %v", err)
 	}
 }
+
+// TestDisabledMetricsZeroAllocs pins the §15 disabled-instrument contract:
+// with no conflict recorder installed (the nil instrument), the store paths
+// that carry the recording hooks — conflict detection, SLA replay, victim
+// placement — must not allocate. The metricsgate analyzer proves the guards
+// are present; this test proves the guarded fast path stays free.
+func TestDisabledMetricsZeroAllocs(t *testing.T) {
+	h := newBenchH(2)
+	if h.Conflicts().Enabled() {
+		t.Fatal("bench hierarchy unexpectedly has a recorder")
+	}
+	h.Store(0, addrA, 1, 1)
+	val := uint64(0)
+	if n := testing.AllocsPerRun(200, func() {
+		val++
+		h.Store(0, addrA, val, 1)
+	}); n != 0 {
+		t.Errorf("speculative store with nil recorder: %v allocs/op, want 0", n)
+	}
+}

@@ -38,6 +38,7 @@ func (h *Hierarchy) Clone() *Hierarchy {
 		tracker:         nil,
 		tracer:          nil,
 		prof:            nil,
+		conflicts:       nil,
 		histLoadLat:     nil,
 		histStoreLat:    nil,
 		san:             sanitizer{},

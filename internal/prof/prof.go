@@ -144,6 +144,13 @@ type Collector struct {
 	totalCycles int64 // sum over runs of the run's makespan
 	runs        int
 	abortedRuns int
+
+	// live is the provisional running total per bucket, updated at charge
+	// time rather than at RunEnd. It feeds the time-series sampler
+	// (internal/metrics), which needs mid-run bucket values; unlike the
+	// folded per-core buckets it never reclassifies rolled-back work into
+	// Wasted, so it shows each charge under its original attribution.
+	live [NumBuckets]int64
 }
 
 // New returns an empty collector. Core slots grow on demand, so the same
@@ -188,6 +195,7 @@ func (c *Collector) Charge(core int, seq uint64, b Bucket, cycles int64) {
 	cs := c.core(core)
 	cs.pend = append(cs.pend, entry{seq: seq, cycles: cycles, bucket: b})
 	cs.runTotal += cycles
+	c.live[b] += cycles
 }
 
 // ChargeLine is Charge with the cache-line address the cycles were spent on,
@@ -202,6 +210,18 @@ func (c *Collector) ChargeLine(core int, seq uint64, b Bucket, cycles int64, lin
 	cs := c.core(core)
 	cs.pend = append(cs.pend, entry{seq: seq, line: lineAddr, cycles: cycles, bucket: b, hasLine: true})
 	cs.runTotal += cycles
+	c.live[b] += cycles
+}
+
+// Live returns the provisional running total of bucket b: every charge so
+// far under its original attribution, regardless of whether its run has
+// folded (or will fold it into Wasted). Safe on a nil collector (returns 0),
+// so time-series probes can read it without a guard.
+func (c *Collector) Live(b Bucket) int64 {
+	if c == nil {
+		return 0
+	}
+	return c.live[b]
 }
 
 // LineConflict records a conflict abort caused by the given line.

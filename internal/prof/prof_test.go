@@ -202,3 +202,26 @@ func TestTextAndDiff(t *testing.T) {
 		}
 	}
 }
+
+// TestHeatmapTieOrder pins the heatmap's secondary sort key: lines with
+// identical conflict, wasted-cycle and peer-transfer counts order by numeric
+// address, ascending. The insertion order here is deliberately descending and
+// includes 0x900 vs 0x1000, which lexical comparison of the formatted hex
+// strings would invert ("0x900" > "0x1000").
+func TestHeatmapTieOrder(t *testing.T) {
+	c := prof.New()
+	for _, a := range []uint64{0x1000, 0x900, 0x2000, 0x40} {
+		c.LineConflict(a)
+	}
+	c.LineConflict(0x2000) // hotter: must sort first despite mid-range address
+	p := c.Snapshot("wl", "hmtx", "DOALL", 0)
+	want := []string{"0x2000", "0x40", "0x900", "0x1000"}
+	if len(p.HotLines) != len(want) {
+		t.Fatalf("got %d hot lines, want %d", len(p.HotLines), len(want))
+	}
+	for i, w := range want {
+		if p.HotLines[i].Addr != w {
+			t.Errorf("hot_lines[%d] = %s, want %s", i, p.HotLines[i].Addr, w)
+		}
+	}
+}

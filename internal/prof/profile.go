@@ -119,39 +119,49 @@ func (c *Collector) Snapshot(workload, system, paradigm string, topLines int) Pr
 		p.Cores = append(p.Cores, cp)
 	}
 
-	// Heatmap: interesting lines, hottest first, ties broken by address so
-	// the order is deterministic.
-	addrs := append([]uint64(nil), c.lineAddrs...)
-	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
-	var hot []LineProfile
-	for _, a := range addrs {
+	// Heatmap: interesting lines, hottest first. The numeric address is the
+	// explicit final sort key: LineProfile.Addr is a hex string, which does
+	// not order numerically ("0x9" > "0x10"), so tie-breaking must happen
+	// here, before formatting, rather than lean on a stable sort of
+	// pre-sorted input surviving future edits.
+	type hotLine struct {
+		addr uint64
+		lp   LineProfile
+	}
+	var hot []hotLine
+	for _, a := range c.lineAddrs {
 		l := c.lines[a]
 		if l.conflicts == 0 && l.overflows == 0 && l.peer == 0 && l.wastedCycles == 0 {
 			continue
 		}
-		hot = append(hot, LineProfile{
+		hot = append(hot, hotLine{addr: a, lp: LineProfile{
 			Addr:          fmt.Sprintf("%#x", a),
 			Conflicts:     l.conflicts,
 			Overflows:     l.overflows,
 			PeerTransfers: l.peer,
 			AccessCycles:  l.accessCycles,
 			WastedCycles:  l.wastedCycles,
-		})
+		}})
 	}
-	sort.SliceStable(hot, func(i, j int) bool {
-		a, b := &hot[i], &hot[j]
+	sort.Slice(hot, func(i, j int) bool {
+		a, b := &hot[i].lp, &hot[j].lp
 		if a.Conflicts+a.Overflows != b.Conflicts+b.Overflows {
 			return a.Conflicts+a.Overflows > b.Conflicts+b.Overflows
 		}
 		if a.WastedCycles != b.WastedCycles {
 			return a.WastedCycles > b.WastedCycles
 		}
-		return a.PeerTransfers > b.PeerTransfers
+		if a.PeerTransfers != b.PeerTransfers {
+			return a.PeerTransfers > b.PeerTransfers
+		}
+		return hot[i].addr < hot[j].addr
 	})
 	if len(hot) > topLines {
 		hot = hot[:topLines]
 	}
-	p.HotLines = hot
+	for i := range hot {
+		p.HotLines = append(p.HotLines, hot[i].lp)
+	}
 
 	seqs := append([]uint64(nil), c.txSeqs...)
 	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })

@@ -1,0 +1,122 @@
+// Package metricsgate keeps the DESIGN.md §15 metric instruments off the
+// simulator's fast path.
+//
+// The instrument contract mirrors the profiler's (see profgate): a run with
+// metrics disabled pays only one nil-check per potential record. Every call
+// to a method of a metrics-package instrument — Sampler.Tick,
+// Recorder.Record, Hist.Observe, and the rest — inside internal/memsys and
+// internal/engine must sit in the body of an if statement whose condition
+// calls Enabled on an instrument, so no row is appended, no edge built, and
+// no bucket touched when metrics are off. The analyzer reports any instrument
+// method call in those packages that is not enclosed by such a guard; Enabled
+// itself is the guard and is exempt.
+//
+// Test files are exempt: tests drive the instruments deliberately and are not
+// on the simulated fast path.
+package metricsgate
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"hmtx/tools/analyzers/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "metricsgate",
+	Doc:  "requires every metrics-instrument call in memsys/engine to be inside an Enabled() guard",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	pkg := strings.TrimSuffix(pass.PkgPath, "_test")
+	if !strings.HasSuffix(pkg, "internal/memsys") && !strings.HasSuffix(pkg, "internal/engine") {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		// First pass: the body ranges of every if statement whose condition
+		// consults Enabled on an instrument. Records inside such a body (at
+		// any nesting depth) are guarded.
+		var guards []guard
+		ast.Inspect(file, func(n ast.Node) bool {
+			ifs, ok := n.(*ast.IfStmt)
+			if !ok {
+				return true
+			}
+			if condCallsEnabled(pass, ifs.Cond) {
+				guards = append(guards, guard{ifs.Body.Pos(), ifs.Body.End()})
+			}
+			return true
+		})
+		// Second pass: every instrument method call other than Enabled must
+		// fall inside one of the collected guard bodies.
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			recv, name, ok := instrumentMethod(pass, call)
+			if !ok || name == "Enabled" {
+				return true
+			}
+			for _, g := range guards {
+				if g.lo <= call.Pos() && call.Pos() < g.hi {
+					return true
+				}
+			}
+			pass.Reportf(call.Pos(), "metrics.%s.%s outside an Enabled() guard; wrap it in `if m.Enabled() { ... }` to keep the fast path free when metrics are off", recv, name)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+type guard struct{ lo, hi token.Pos }
+
+// condCallsEnabled reports whether the expression contains a call to an
+// instrument's Enabled method, however it is combined (negation, &&, ||).
+func condCallsEnabled(pass *analysis.Pass, cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if _, name, ok := instrumentMethod(pass, call); ok && name == "Enabled" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// instrumentMethod reports whether call invokes a method on a value whose
+// type is any named type (or pointer to one) from an internal/metrics
+// package — Sampler, Recorder, LatHists, Hist — and returns the receiver type
+// and method names.
+func instrumentMethod(pass *analysis.Pass, call *ast.CallExpr) (recvName, method string, ok bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	selection, ok := pass.TypesInfo.Selections[sel]
+	if !ok || selection.Kind() != types.MethodVal {
+		return "", "", false
+	}
+	recv := selection.Recv()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return "", "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !strings.HasSuffix(obj.Pkg().Path(), "internal/metrics") {
+		return "", "", false
+	}
+	return obj.Name(), sel.Sel.Name, true
+}

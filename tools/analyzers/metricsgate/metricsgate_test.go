@@ -1,0 +1,15 @@
+package metricsgate_test
+
+import (
+	"testing"
+
+	"hmtx/tools/analyzers/analysis/analysistest"
+	"hmtx/tools/analyzers/metricsgate"
+)
+
+func TestMetricsgate(t *testing.T) {
+	// sim/internal/engine carries the want comments; other is out of scope
+	// and must stay silent despite its unguarded records.
+	analysistest.Run(t, analysistest.TestData(), metricsgate.Analyzer,
+		"sim/internal/engine", "other")
+}

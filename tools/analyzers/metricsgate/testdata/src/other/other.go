@@ -1,0 +1,11 @@
+// Package other is outside internal/memsys and internal/engine, so the gate
+// does not apply: unguarded records are fine off the simulated fast path
+// (e.g. a CLI snapshotting an instrument it just ran).
+package other
+
+import "hmtx/internal/metrics"
+
+func Dump(sm *metrics.Sampler, r *metrics.Recorder) {
+	sm.Flush(100)
+	r.Record(1, 2, 0x40, metrics.EdgeConflict)
+}

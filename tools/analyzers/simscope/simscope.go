@@ -14,6 +14,7 @@ var SimPackages = map[string]bool{
 	"hmtx/internal/check":       true,
 	"hmtx/internal/obs":         true,
 	"hmtx/internal/prof":        true,
+	"hmtx/internal/metrics":     true,
 	"hmtx/internal/hmtx":        true,
 	"hmtx/internal/smtx":        true,
 	"hmtx/internal/experiments": true,
