@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	experiments [-scale N] [-cores N] [-parallel N] [-only fig8,table1,...]
+//	experiments [-scale N] [-cores N] [-parallel N] [-domains N]
+//	            [-only fig8,table1,...]
 //	            [-ablations] [-json BENCH_run.json] [-prof PROF_run.json]
 //	            [-series SERIES_run.json] [-series-window N]
 //	            [-conflicts CONFLICTS_run.json] [-hist HIST_run.json]
@@ -20,7 +21,10 @@
 // the suite's time-series ("hmtx-series/v1"), conflict-graph
 // ("hmtx-conflicts/v1") and latency-histogram ("hmtx-hist/v1") documents,
 // which cmd/hmtxreport turns into an HTML report. All documents are
-// byte-identical at every -parallel setting.
+// byte-identical at every -parallel and -domains setting: -parallel runs
+// whole simulations concurrently, while -domains shards the cores of each
+// simulation across goroutines inside conservative time quanta
+// (DESIGN.md §16).
 package main
 
 import (
@@ -43,6 +47,7 @@ func main() {
 	scale := flag.Int("scale", 1, "iteration-count multiplier for every benchmark")
 	cores := flag.Int("cores", 4, "number of simulated cores")
 	parallel := flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
+	domains := flag.Int("domains", 1, "intra-simulation parallel domains (1 = serial engine scheduler; results are byte-identical at any setting)")
 	only := flag.String("only", "", "comma-separated subset: fig1,fig2,fig8,fig9,table1,table2,table3")
 	ablations := flag.Bool("ablations", false, "also run the design-choice ablations")
 	quiet := flag.Bool("q", false, "suppress progress output")
@@ -87,6 +92,7 @@ func main() {
 		Scale: *scale, Cores: *cores, Parallelism: *parallel,
 		Profile: *profOut != "",
 		Metrics: metricsOn, MetricsWindow: *seriesWindow,
+		Domains: *domains,
 	}
 	want := map[string]bool{}
 	for _, k := range strings.Split(*only, ",") {

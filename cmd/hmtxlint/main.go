@@ -17,7 +17,9 @@
 // internal/memsys (statemut), no unguarded trace emission on the
 // simulator fast path (tracegate), no unguarded profiler charges there
 // either (profgate), and no unguarded metric-instrument records there
-// (metricsgate) — plus the transactional-API rules: every engine.Env
+// (metricsgate), no simulation-visible output effects on domain-worker
+// goroutines outside the canonical barrier drain (domaindrain) — plus the
+// transactional-API rules: every engine.Env
 // Begin matched by Commit/Abort/Begin(0) with no escaping handles
 // (txbalance), model-checker snapshot methods covering every field of
 // the structs they fingerprint (statefp), and the whole-program rules:
@@ -40,6 +42,7 @@ import (
 	"hmtx/tools/analyzers/analysis"
 	"hmtx/tools/analyzers/detflow"
 	"hmtx/tools/analyzers/detrange"
+	"hmtx/tools/analyzers/domaindrain"
 	"hmtx/tools/analyzers/metricsgate"
 	"hmtx/tools/analyzers/noclock"
 	"hmtx/tools/analyzers/profgate"
@@ -53,6 +56,7 @@ import (
 var analyzers = []*analysis.Analyzer{
 	detflow.Analyzer,
 	detrange.Analyzer,
+	domaindrain.Analyzer,
 	metricsgate.Analyzer,
 	noclock.Analyzer,
 	profgate.Analyzer,

@@ -97,6 +97,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	system := fs.String("system", "hmtx", "execution system: hmtx, smtx-min, smtx-max, seq")
 	par := fs.String("paradigm", "auto", "paradigm: auto, doall, doacross, dswp, psdswp")
 	cores := fs.Int("cores", 4, "number of simulated cores")
+	domains := fs.Int("domains", 1, "parallel simulation domains (1 = serial reference scheduler; results are byte-identical for any value)")
 	scale := fs.Int("scale", 1, "iteration-count multiplier")
 	noSLA := fs.Bool("no-sla", false, "disable speculative load acknowledgments (§5.1)")
 	vidBits := fs.Uint("vid-bits", 6, "hardware VID width in bits (§4.6)")
@@ -199,6 +200,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cfg.Mem.VIDSpace = vid.Space{Bits: *vidBits}
 	cfg.Mem.EagerCommit = *eager
 	cfg.Mem.Sanitize = *sanitize
+	cfg.Domains = *domains
+	if *domains < 1 {
+		return fail("-domains must be >= 1")
+	}
 
 	seqSys := engine.New(cfg)
 	sys := engine.New(cfg)
@@ -291,6 +296,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err := traceFile.Close(); err != nil {
 			return fail("closing %s: %v", *traceOut, err)
 		}
+	}
+
+	if *domains > 1 {
+		// Scheduler diagnostics go to stderr: stdout must stay byte-identical
+		// to a serial (-domains=1) run of the same configuration.
+		fmt.Fprintf(stderr, "hmtxsim: parallel scheduler: %d domains, %d rounds, %d fast ops\n",
+			*domains, sys.Rounds(), sys.FastOps())
 	}
 
 	fmt.Fprintf(stdout, "benchmark:        %s (%v, %d iterations)\n", spec.Name, kind, out.Iterations)

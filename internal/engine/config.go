@@ -50,6 +50,14 @@ type Config struct {
 	// Seed drives the engine's only internal randomness: the choice of
 	// wrong-path addresses on mispredictions.
 	Seed int64
+
+	// Domains selects the intra-run parallel scheduler (domains.go): the
+	// simulated cores are partitioned into this many contiguous groups,
+	// each advanced by its own host goroutine inside conservative time
+	// quanta derived from Mem (never hard-coded), with results
+	// byte-identical to the serial scheduler. 0 or 1 runs the original
+	// single-loop scheduler, kept as the reference implementation.
+	Domains int
 }
 
 // DefaultConfig returns the configuration used throughout the evaluation.
@@ -63,5 +71,6 @@ func DefaultConfig() Config {
 		QueueOpCost:       4,
 		QueueCap:          16,
 		Seed:              1,
+		Domains:           1,
 	}
 }

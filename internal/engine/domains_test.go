@@ -1,0 +1,403 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"hmtx/internal/memsys"
+	"hmtx/internal/metrics"
+	"hmtx/internal/vid"
+)
+
+// domainsTestAddrs is the superset of memory lines the workloads below touch;
+// AppendCanonical needs it to include main memory in the state comparison.
+func domainsTestAddrs() []memsys.Addr {
+	var addrs []memsys.Addr
+	for a := memsys.Addr(0x0); a < 0x20000; a += memsys.LineSize {
+		addrs = append(addrs, a)
+	}
+	return addrs
+}
+
+// runShot is everything observable about one instrumented execution.
+type runShot struct {
+	results  []RunResult
+	stats    Stats
+	memStats memsys.Stats
+	canon    []byte
+	series   []byte
+	confl    []byte
+	hists    []byte
+	rounds   int64
+	fastOps  int64
+}
+
+// execWorkload builds a fresh instrumented system with the given Domains
+// setting, runs every schedule the workload produces, and snapshots all
+// observable outputs. The workload factory is re-invoked per execution so
+// closures never share captured state across runs.
+func execWorkload(t *testing.T, cfg Config, domains int, workload func(s *System) [][]Program) runShot {
+	t.Helper()
+	cfg.Domains = domains
+	s := New(cfg)
+	sm := metrics.NewSampler(500)
+	rec := metrics.NewRecorder(0)
+	l := metrics.NewLatHists()
+	s.SetSeries(sm)
+	s.SetConflicts(rec)
+	s.SetLatHists(l)
+
+	var shot runShot
+	for _, progs := range workload(s) {
+		shot.results = append(shot.results, s.Run(progs))
+	}
+	s.FlushSeries()
+
+	mustJSON := func(v any) []byte {
+		b, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	shot.stats = *s.Stats()
+	shot.memStats = *s.Mem.Stats()
+	shot.canon = s.Mem.AppendCanonical(nil, domainsTestAddrs())
+	shot.series = mustJSON(sm.Snapshot("t"))
+	shot.confl = mustJSON(rec.Snapshot("t"))
+	shot.hists = mustJSON(l.Snapshot("t"))
+	shot.rounds = s.Rounds()
+	shot.fastOps = s.FastOps()
+	return shot
+}
+
+// requireIdentical fails unless two executions are byte-identical in every
+// observable: run results, engine and memory statistics, canonical
+// architectural state, and all metrics JSON.
+func requireIdentical(t *testing.T, serial, par runShot, label string) {
+	t.Helper()
+	if len(serial.results) != len(par.results) {
+		t.Fatalf("%s: run counts differ: %d vs %d", label, len(serial.results), len(par.results))
+	}
+	for i := range serial.results {
+		if serial.results[i] != par.results[i] {
+			t.Errorf("%s: run %d result differs:\nserial: %+v\ndomains: %+v", label, i, serial.results[i], par.results[i])
+		}
+	}
+	if serial.stats != par.stats {
+		t.Errorf("%s: engine stats differ:\nserial: %+v\ndomains: %+v", label, serial.stats, par.stats)
+	}
+	if serial.memStats != par.memStats {
+		t.Errorf("%s: memsys stats differ:\nserial: %+v\ndomains: %+v", label, serial.memStats, par.memStats)
+	}
+	if string(serial.canon) != string(par.canon) {
+		t.Errorf("%s: canonical architectural state differs", label)
+	}
+	if string(serial.series) != string(par.series) {
+		t.Errorf("%s: series JSON differs:\nserial: %s\ndomains: %s", label, serial.series, par.series)
+	}
+	if string(serial.confl) != string(par.confl) {
+		t.Errorf("%s: conflict JSON differs:\nserial: %s\ndomains: %s", label, serial.confl, par.confl)
+	}
+	if string(serial.hists) != string(par.hists) {
+		t.Errorf("%s: latency-histogram JSON differs:\nserial: %s\ndomains: %s", label, serial.hists, par.hists)
+	}
+}
+
+// mixedWorkload stresses every fast-path operation kind across all cores:
+// non-speculative warm-up loads, repeated in-transaction loads of tracked
+// lines (the speculative fast path), well-predicted and mispredicting
+// branches, computes, txInfo reads, and cross-core commit ordering through
+// parkCommit. All mutable cross-core state lives in simulated memory.
+func mixedWorkload(nCores, rounds int) func(s *System) [][]Program {
+	return func(s *System) [][]Program {
+		progs := make([]Program, nCores)
+		for i := 0; i < nCores; i++ {
+			i := i
+			progs[i] = func(e *Env) {
+				base := memsys.Addr(0x1000 + i*0x400)
+				// Non-speculative warm-up: loads + learned branch.
+				for k := 0; k < 8; k++ {
+					e.Load(base + memsys.Addr(k*8)%0x200)
+					e.Compute(int64(3 + k%5))
+					e.Branch(uint64(i*8+1), true)
+				}
+				for r := 0; r < rounds; r++ {
+					seq := vid.Seq(r*nCores + i + 1)
+					e.Begin(seq)
+					e.Store(base, uint64(r))
+					// Repeated loads of a line already in the write set:
+					// the speculative L1-hit fast path.
+					for k := 0; k < 6; k++ {
+						e.Load(base)
+						e.Compute(int64(1 + (r+k)%4))
+					}
+					e.SpecAccessCount()
+					// Alternating branch: mispredicts issue wrong-path
+					// loads through the shared hierarchy (global ops).
+					e.Branch(uint64(i*8+2), (r+i)%2 == 0)
+					e.Commit(seq)
+				}
+			}
+		}
+		return [][]Program{progs}
+	}
+}
+
+// TestDomainsByteIdentical is the core tentpole contract: for every workload
+// and every domain count, the parallel scheduler's observable outputs are
+// byte-identical to the serial reference scheduler's.
+func TestDomainsByteIdentical(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mem.Cores = 8
+
+	workloads := map[string]func(s *System) [][]Program{
+		"mixed": mixedWorkload(8, 6),
+		"conflict-then-recover": func(s *System) [][]Program {
+			recover := []Program{func(e *Env) {
+				e.Begin(1)
+				e.Store(0x1000, 7)
+				e.Commit(1)
+				e.Begin(2)
+				e.Load(0x1000)
+				e.Load(0x1000)
+				e.Commit(2)
+			}}
+			return [][]Program{conflictingPair(), recover}
+		},
+		"dswp-pipeline": func(s *System) [][]Program {
+			for i := 0; i < 20; i++ {
+				node := memsys.Addr(0x10000) + memsys.Addr(i)*memsys.LineSize
+				s.Mem.PokeWord(node, uint64(i+1))
+				next := node + memsys.LineSize
+				if i == 19 {
+					next = 0
+				}
+				s.Mem.PokeWord(node+8, next)
+			}
+			stage1 := func(e *Env) {
+				node := uint64(0x10000)
+				seq := vid.Seq(1)
+				for node != 0 {
+					e.Begin(seq)
+					e.Store(0x800, node)
+					node = e.Load(memsys.Addr(node) + 8)
+					e.Begin(0)
+					e.Produce(1, uint64(seq))
+					seq++
+				}
+				e.CloseQueue(1)
+			}
+			stage2 := func(e *Env) {
+				for {
+					v, ok := e.Consume(1)
+					if !ok {
+						return
+					}
+					seq := vid.Seq(v)
+					e.Begin(seq)
+					node := e.Load(0x800)
+					val := e.Load(memsys.Addr(node))
+					sum := e.Load(0x900)
+					e.Store(0x900, sum+val)
+					e.Commit(seq)
+				}
+			}
+			return [][]Program{{stage1, stage2}}
+		},
+		"vid-reset": func(s *System) [][]Program {
+			return [][]Program{{func(e *Env) {
+				for i := 1; i <= 150; i++ {
+					seq := vid.Seq(i)
+					e.Begin(seq)
+					e.Store(0x1000, uint64(i))
+					e.Load(0x1000)
+					e.Commit(seq)
+				}
+			}}}
+		},
+	}
+
+	for name, wl := range workloads {
+		serial := execWorkload(t, cfg, 1, wl)
+		if serial.rounds != 0 || serial.fastOps != 0 {
+			t.Fatalf("%s: serial run opened %d rounds (%d fast ops), want none", name, serial.rounds, serial.fastOps)
+		}
+		for _, d := range []int{2, 4, 8} {
+			par := execWorkload(t, cfg, d, wl)
+			requireIdentical(t, serial, par, fmt.Sprintf("%s/domains=%d", name, d))
+		}
+	}
+}
+
+// TestDomainsFastPathEngages guards against a vacuous pass of the identity
+// tests: with Domains > 1 and a compute-heavy multicore workload, the
+// parallel scheduler must actually open rounds and execute operations off
+// the serial coordinator.
+func TestDomainsFastPathEngages(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mem.Cores = 8
+	par := execWorkload(t, cfg, 4, mixedWorkload(8, 6))
+	if par.rounds == 0 {
+		t.Fatal("no parallel rounds opened; scheduler silently fell back to serial")
+	}
+	if par.fastOps == 0 {
+		t.Fatal("rounds opened but no fast operations executed")
+	}
+	t.Logf("rounds=%d fastOps=%d", par.rounds, par.fastOps)
+}
+
+// TestDomainsSerialFallback verifies the instruments that require the serial
+// path force it even when Domains > 1.
+func TestDomainsSerialFallback(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Domains = 4
+
+	s := New(cfg)
+	if !s.useRounds() {
+		t.Fatal("uninstrumented Domains=4 system must use rounds")
+	}
+
+	cfg2 := cfg
+	cfg2.Mem.Sanitize = true
+	if New(cfg2).useRounds() {
+		t.Error("MOESI-San must force the serial scheduler")
+	}
+
+	cfg3 := cfg
+	cfg3.Domains = 1
+	if New(cfg3).useRounds() {
+		t.Error("Domains=1 must use the serial scheduler")
+	}
+}
+
+// TestCrossDomainLatencyIsQuantum pins the bound the round horizon rests on:
+// the quantum equals the fastest cross-core interaction latency (the bus),
+// so no core can observe a peer's activity within a quantum. The test drives
+// the memory system directly: a line modified in core 0's L1, loaded by core
+// 1, pays exactly one bus transfer beyond the L1 lookup — and that transfer
+// latency is exactly Config.Quantum().
+func TestCrossDomainLatencyIsQuantum(t *testing.T) {
+	cfg := memsys.DefaultConfig()
+	q := cfg.Quantum()
+	if q != cfg.BusLat || q > cfg.L2Lat {
+		t.Fatalf("Quantum() = %d, want min(BusLat=%d, L2Lat=%d)", q, cfg.BusLat, cfg.L2Lat)
+	}
+
+	h := memsys.New(cfg)
+	h.Store(0, 0x1000, 42, vid.NonSpec) // core 0 gains Modified
+	val, res := h.Load(1, 0x1000, vid.NonSpec)
+	if val != 42 {
+		t.Fatalf("cross-core load = %d, want 42", val)
+	}
+	if res.Src != memsys.SrcPeer {
+		t.Fatalf("load served from %v, want peer transfer", res.Src)
+	}
+	if got := res.Lat - cfg.L1Lat; got != q {
+		t.Errorf("cross-core transfer latency = %d cycles beyond the L1 lookup, want quantum = %d", got, q)
+	}
+	if h.Stats().PeerTransfers != 1 {
+		t.Errorf("peer transfers = %d, want 1", h.Stats().PeerTransfers)
+	}
+}
+
+// TestDomainsQuantumBoundary runs a schedule where a value produced by a
+// core in one domain is consumed by a core in another exactly one bus
+// transfer later, with both cores advancing through fast operations around
+// the hand-off: the quantum must make the parallel run cycle-identical.
+func TestDomainsQuantumBoundary(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mem.Cores = 2
+	wl := func(s *System) [][]Program {
+		producer := func(e *Env) {
+			e.Store(0x1000, 99) // gains Modified in core 0's L1
+			for k := 0; k < 32; k++ {
+				e.Compute(3)
+				e.Load(0x1000)
+			}
+		}
+		consumer := func(e *Env) {
+			for k := 0; k < 16; k++ {
+				e.Compute(5)
+			}
+			// Cross-domain transfer: served from core 0's L1 over the bus.
+			if v := e.Load(0x1000); v != 99 {
+				panic("consumer read stale data")
+			}
+			for k := 0; k < 16; k++ {
+				e.Compute(2)
+				e.Load(0x1000)
+			}
+		}
+		return [][]Program{{producer, consumer}}
+	}
+	serial := execWorkload(t, cfg, 1, wl)
+	par := execWorkload(t, cfg, 2, wl)
+	requireIdentical(t, serial, par, "quantum-boundary")
+	if serial.memStats.PeerTransfers == 0 {
+		t.Fatal("workload produced no cross-domain transfer")
+	}
+	if par.rounds == 0 {
+		t.Fatal("parallel run opened no rounds")
+	}
+}
+
+// TestDomainsAbortCascadeThreeDomains is the satellite abort test: cores in
+// three different domains hold live transactions whose fate is decided by a
+// single store — the flow-dependence violation aborts victims across all
+// three domains within one quantum, and the parallel run must match the
+// serial one byte for byte.
+func TestDomainsAbortCascadeThreeDomains(t *testing.T) {
+	cfg := DefaultConfig() // 4 cores; Domains=4 puts each core in its own domain
+	wl := func(s *System) [][]Program {
+		victim := func(seq vid.Seq, warm int64) Program {
+			return func(e *Env) {
+				e.Begin(seq)
+				e.Load(0x1000) // marked with a high VID
+				for k := 0; k < 50; k++ {
+					e.Compute(warm) // fast ops keep the core inside rounds
+					e.Load(0x1000)
+				}
+				e.Commit(seq)
+			}
+		}
+		aborter := func(e *Env) {
+			e.Compute(300) // let both victims mark the line first
+			e.Begin(1)
+			e.Store(0x1000, 7) // flow violation: aborts seq 2 and seq 3
+			e.Commit(1)
+		}
+		return [][]Program{{victim(3, 9), victim(2, 11), aborter}}
+	}
+	serial := execWorkload(t, cfg, 1, wl)
+	if !serial.results[0].Aborted {
+		t.Fatal("schedule must abort")
+	}
+	for _, d := range []int{2, 4} {
+		par := execWorkload(t, cfg, d, wl)
+		requireIdentical(t, serial, par, fmt.Sprintf("abort-cascade/domains=%d", d))
+	}
+	par := execWorkload(t, cfg, 4, wl)
+	if par.rounds == 0 {
+		t.Fatal("abort cascade ran without any parallel rounds")
+	}
+}
+
+// TestDomainsSeedReplay re-runs the same seeded workload several times per
+// domain count: every execution, serial or parallel, must produce identical
+// bytes (the engine's only RNG is seeded, and the parallel scheduler must
+// not introduce host-timing dependence).
+func TestDomainsSeedReplay(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mem.Cores = 8
+	cfg.Seed = 42
+	wl := mixedWorkload(8, 4)
+	ref := execWorkload(t, cfg, 1, wl)
+	for _, d := range []int{1, 2, 4, 8} {
+		for rep := 0; rep < 3; rep++ {
+			got := execWorkload(t, cfg, d, wl)
+			requireIdentical(t, ref, got, fmt.Sprintf("seed-replay/domains=%d/rep=%d", d, rep))
+		}
+	}
+}

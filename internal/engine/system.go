@@ -89,6 +89,16 @@ type core struct {
 	hasReq     bool
 
 	curSeq vid.Seq
+	// curTx caches the txStats of curSeq. It is set at beginMTX, cleared
+	// when the transaction commits or the run aborts, and lets round
+	// workers (domains.go) reach the core's own transaction footprint
+	// without touching the shared s.txs map.
+	curTx *txStats
+
+	// fastFailed marks that the pending request passed the engine-side
+	// fast-path checks but the memory system refused TryLocalLoad; the
+	// coordinator must handle it serially (and clears the flag).
+	fastFailed bool
 
 	// Branch predictor: per-site 2-bit saturating counters.
 	pred map[uint64]uint8
@@ -134,6 +144,12 @@ type System struct {
 	queues map[int]*queue
 	txs    map[vid.Seq]*txStats
 
+	// liveSeq counts, per transaction sequence number, how many live cores
+	// currently have it as curSeq. The parallel scheduler (domains.go)
+	// treats per-transaction state as core-private only when the count is
+	// 1; it is maintained at begin/commit, never inside a round.
+	liveSeq map[vid.Seq]int
+
 	lastCommitted  vid.Seq
 	lastCommitTime int64
 
@@ -158,6 +174,13 @@ type System struct {
 	// time across recovery runs.
 	cumCycles int64
 
+	// rounds and fastOps count parallel-scheduler activity (domains.go):
+	// quantum rounds opened and fast operations executed inside them. They
+	// are scheduler diagnostics, deliberately kept out of Stats — the
+	// simulated-architecture counters must be byte-identical between the
+	// serial and parallel schedulers, while these are zero on one of them.
+	rounds, fastOps int64
+
 	// Histograms registered by Register (obs.go); nil until then.
 	histCommitLat *obs.Histogram
 	histReadSet   *obs.Histogram
@@ -167,11 +190,12 @@ type System struct {
 // New builds a system; the memory hierarchy is fresh and empty.
 func New(cfg Config) *System {
 	s := &System{
-		cfg:    cfg,
-		Mem:    memsys.New(cfg.Mem),
-		queues: make(map[int]*queue),
-		txs:    make(map[vid.Seq]*txStats),
-		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		cfg:     cfg,
+		Mem:     memsys.New(cfg.Mem),
+		queues:  make(map[int]*queue),
+		txs:     make(map[vid.Seq]*txStats),
+		liveSeq: make(map[vid.Seq]int),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
 	}
 	s.Mem.SetTracker((*sysTracker)(s))
 	for i := 0; i < cfg.Mem.Cores; i++ {
@@ -215,7 +239,10 @@ func (s *System) Run(programs []Program) RunResult {
 	for _, c := range live {
 		c.time, c.finish, c.done, c.parked, c.curSeq = 0, 0, false, parkNone, 0
 		c.hasReq = false
+		c.curTx = nil
+		c.fastFailed = false
 	}
+	clear(s.liveSeq)
 	// Launch the program goroutines one at a time, receiving each core's
 	// first request before starting the next. Together with receive()
 	// below this serialises all user code: exactly one program goroutine
@@ -239,21 +266,10 @@ func (s *System) Run(programs []Program) RunResult {
 		s.receive(c)
 	}
 
-	for s.nLive > 0 {
-		c := s.pickRunnable(live)
-		if c == nil {
-			s.dumpDeadlock(live)
-		}
-		r := c.pendingReq
-		c.hasReq = false
-		s.handle(c, r)
-		if !c.done && c.parked == parkNone {
-			// handle responded: the program is running again. Wait
-			// for its next request so no user code runs concurrently
-			// with whichever core the scheduler picks next.
-			s.receive(c)
-		}
-		s.retryParked(live)
+	if s.useRounds() {
+		s.runRounds(live)
+	} else {
+		s.runSerial(live)
 	}
 
 	var cycles int64
@@ -277,6 +293,28 @@ func (s *System) Run(programs []Program) RunResult {
 		Aborted:       s.abortCause != "",
 		Cause:         s.abortCause,
 		LastCommitted: s.lastCommitted,
+	}
+}
+
+// runSerial is the original single-loop scheduler: one event at a time, the
+// earliest-clock runnable core first. It is the reference implementation the
+// parallel scheduler (domains.go) must match byte-for-byte.
+func (s *System) runSerial(live []*core) {
+	for s.nLive > 0 {
+		c := s.pickRunnable(live)
+		if c == nil {
+			s.dumpDeadlock(live)
+		}
+		r := c.pendingReq
+		c.hasReq = false
+		s.handle(c, r)
+		if !c.done && c.parked == parkNone {
+			// handle responded: the program is running again. Wait
+			// for its next request so no user code runs concurrently
+			// with whichever core the scheduler picks next.
+			s.receive(c)
+		}
+		s.retryParked(live)
 	}
 }
 
@@ -486,11 +524,7 @@ func (s *System) handle(c *core, r request) {
 		s.park(c, parkAwait, r)
 
 	case reqTxInfo:
-		var n uint64
-		if c.curSeq != 0 {
-			n = s.tx(c.curSeq).specAccesses
-		}
-		c.resp <- response{val: n}
+		c.resp <- response{val: s.txInfo(c)}
 
 	default:
 		panic(fmt.Sprintf("engine: unknown request kind %d", r.kind))
@@ -576,7 +610,14 @@ func (s *System) begin(c *core, r request) bool {
 			}
 		}
 	}
+	if c.curSeq != 0 {
+		s.seqRelease(c.curSeq)
+	}
+	if r.seq != 0 {
+		s.liveSeq[r.seq]++
+	}
 	c.curSeq = r.seq
+	c.curTx = nil
 	c.time++ // the beginMTX instruction itself
 	s.stats.Instructions++
 	if s.prof.Enabled() {
@@ -584,6 +625,7 @@ func (s *System) begin(c *core, r request) bool {
 	}
 	if r.seq != 0 {
 		t := s.tx(r.seq)
+		c.curTx = t
 		if !t.begun {
 			t.begun, t.beginAt = true, c.time
 		}
@@ -606,8 +648,16 @@ func (s *System) doCommit(c *core, seq vid.Seq) {
 	if c.time > s.lastCommitTime {
 		s.lastCommitTime = c.time
 	}
+	// The footprint entry below is deleted; drop every cached pointer to it
+	// (an MTX's sequence number may be current on several cores).
+	for _, d := range s.cores {
+		if d.curSeq == seq {
+			d.curTx = nil
+		}
+	}
 	if c.curSeq == seq {
 		c.curSeq = 0 // commitMTX returns to non-speculative execution
+		s.seqRelease(seq)
 	}
 	if t, ok := s.txs[seq]; ok {
 		s.stats.Txs++
@@ -725,6 +775,9 @@ func (s *System) triggerAbort(cause string, c *core) {
 	}
 	// Discard in-flight transaction footprints; they never committed.
 	s.txs = make(map[vid.Seq]*txStats)
+	for _, d := range s.cores {
+		d.curTx = nil
+	}
 	c.resp <- response{abort: true}
 }
 

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"hmtx/internal/workloads"
+)
+
+// domainsDocs runs the given specs at the given engine Domains setting and
+// renders every deterministic document: hmtx-bench/v1, hmtx-prof/v1,
+// hmtx-series/v1, hmtx-conflicts/v1 and hmtx-hist/v1. The full instrument
+// stack costs ~100x the plain run, so callers pass a small spec list.
+func domainsDocs(t *testing.T, specs []workloads.Spec, domains int) [5][]byte {
+	t.Helper()
+	cfg := Default()
+	cfg.Domains = domains
+	cfg.Profile = true
+	cfg.Metrics = true
+	cfg.MetricsWindow = 1024
+	results := RunSpecs(cfg, specs, nil)
+	var out [5][]byte
+	for i, doc := range []any{
+		BuildDoc(cfg, results),
+		BuildProfDoc(cfg, results),
+		BuildSeriesDoc(cfg, results),
+		BuildConflictDoc(cfg, results),
+		BuildHistDoc(cfg, results),
+	} {
+		var buf bytes.Buffer
+		if err := WriteAnyJSON(&buf, doc); err != nil {
+			t.Fatal(err)
+		}
+		out[i] = buf.Bytes()
+	}
+	return out
+}
+
+// TestDomainsSuiteDeterminism is the end-to-end tentpole contract at the
+// experiments layer: with the engine's domain-sharded scheduler at any
+// domain count, every document the suite emits — measurements, cycle
+// profiles, time series, conflict graphs, latency histograms — must be
+// byte-identical to the serial reference scheduler's. Run under -race this
+// also exercises the round workers for data races.
+func TestDomainsSuiteDeterminism(t *testing.T) {
+	specs := subset(t)[:1] // ispell: the full instrument stack is ~35s/run on the larger specs
+	serial := domainsDocs(t, specs, 1)
+	names := [5]string{"bench", "prof", "series", "conflicts", "hist"}
+	for _, d := range []int{2, 4, 8} {
+		par := domainsDocs(t, specs, d)
+		for i, name := range names {
+			if !bytes.Equal(serial[i], par[i]) {
+				t.Errorf("domains=%d: %s JSON differs from serial", d, name)
+			}
+		}
+	}
+	if !bytes.Contains(serial[2], []byte(`"label": "ispell/hmtx"`)) {
+		t.Error("series doc missing expected labels; comparison may be vacuous")
+	}
+}
+
+// TestDomainsBenchDeterminismBreadth covers the whole benchmark subset with
+// the plain (uninstrumented) configuration, where the parallel rounds engage
+// on every run: the hmtx-bench/v1 measurements must be byte-identical to
+// serial at every domain count.
+func TestDomainsBenchDeterminismBreadth(t *testing.T) {
+	docBytes := func(domains int) []byte {
+		cfg := Default()
+		cfg.Domains = domains
+		results := RunSpecs(cfg, subset(t), nil)
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf, BuildDoc(cfg, results)); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	ref := docBytes(1)
+	for _, d := range []int{2, 4, 8} {
+		if got := docBytes(d); !bytes.Equal(ref, got) {
+			t.Errorf("domains=%d: bench JSON differs from serial", d)
+		}
+	}
+}
+
+// TestDomainsComposesWithParallelism runs intra-simulation domains under the
+// across-simulation worker pool at once; the stacked concurrency must still
+// produce byte-identical measurements.
+func TestDomainsComposesWithParallelism(t *testing.T) {
+	specs := subset(t)[:2]
+	docBytes := func(parallelism, domains int) []byte {
+		cfg := Default()
+		cfg.Parallelism = parallelism
+		cfg.Domains = domains
+		results := RunSpecs(cfg, specs, nil)
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf, BuildDoc(cfg, results)); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	ref := docBytes(1, 1)
+	for _, c := range [][2]int{{1, 4}, {4, 1}, {4, 4}} {
+		if got := docBytes(c[0], c[1]); !bytes.Equal(ref, got) {
+			t.Errorf("parallel=%d domains=%d: bench JSON differs from serial reference", c[0], c[1])
+		}
+	}
+}

@@ -31,6 +31,14 @@ type cache struct {
 	// provable no-op — the common case for consecutive L1 hits.
 	setGen []uint64
 	setTag []Addr
+
+	// lruClock is this cache's private recency counter. Victim selection
+	// only ever compares lru stamps of lines within one set of one cache,
+	// so a per-cache clock picks the same victims as the former
+	// hierarchy-global clock while keeping touch() free of cross-cache
+	// shared state (the domain-sharded scheduler lets different cores'
+	// L1 fast paths touch concurrently).
+	lruClock uint64
 }
 
 func newCache(name string, id, size, ways int, h *Hierarchy) *cache {
@@ -114,8 +122,8 @@ func (c *cache) findHit(lineAddr Addr, a vid.V, snoop bool) *Line {
 
 // touch updates LRU bookkeeping for ln.
 func (c *cache) touch(ln *Line) {
-	c.hier.lruClock++
-	ln.lru = c.hier.lruClock
+	c.lruClock++
+	ln.lru = c.lruClock
 }
 
 // victimClass ranks lines for eviction; lower evicts first. Non-speculative

@@ -113,10 +113,11 @@ func (c Config) validate() {
 	switch {
 	case c.Cores <= 0:
 		panic("memsys: Cores must be positive")
-	case c.Cores > 63:
+	case c.Cores > 255:
 		// The snoop filter keeps one presence bit per cache (Cores L1s
-		// plus the L2) in a uint64 mask.
-		panic("memsys: at most 63 cores supported")
+		// plus the L2) in a presMask, sized for 256 caches; the engine's
+		// deterministic event keys also reserve 8 bits for the core id.
+		panic("memsys: at most 255 cores supported")
 	case c.L1Size <= 0 || c.L1Ways <= 0 || c.L1Size%(c.L1Ways*LineSize) != 0:
 		panic("memsys: invalid L1 geometry")
 	case c.L2Size <= 0 || c.L2Ways <= 0 || c.L2Size%(c.L2Ways*LineSize) != 0:
@@ -126,6 +127,20 @@ func (c Config) validate() {
 	case c.InjectBug != "" && c.InjectBug != BugDupVersionOnMigrate && c.InjectBug != BugStaleCopyOnConvert:
 		panic("memsys: unknown InjectBug " + c.InjectBug)
 	}
+}
+
+// Quantum returns the conservative synchronisation quantum for domain-sharded
+// simulation: the minimum latency of any cross-core interaction. Every path by
+// which one core's activity becomes visible to another goes through the shared
+// bus or the L2 (cache-to-cache transfers, snoops, broadcasts), so no core can
+// observe an event issued by a peer fewer than Quantum cycles earlier. The
+// bound is computed from the configuration, never hard-coded.
+func (c Config) Quantum() int64 {
+	q := c.BusLat
+	if c.L2Lat < q {
+		q = c.L2Lat
+	}
+	return q
 }
 
 // LineAddr returns the line-aligned address containing addr.

@@ -25,7 +25,6 @@ type Hierarchy struct {
 	mem       *memory
 	lc        vid.V  // latest committed VID (LC VID register, §5.3)
 	epoch     uint64 // VID epoch, advanced by VID Reset (§4.6)
-	lruClock  uint64
 	stats     Stats
 	tracker   Tracker
 	tracer    *obs.Tracer       // nil when tracing is disabled (obs.go)
@@ -44,7 +43,7 @@ type Hierarchy struct {
 	// protocol sweeps visit only caches that can respond instead of
 	// broadcasting to all Cores+1 caches. MOESI-San asserts the superset
 	// property after every operation (invariant 8, sanitize.go).
-	pres map[Addr]uint64
+	pres map[Addr]presMask
 
 	// Latency histograms, registered by Register (obs.go); nil until then.
 	histLoadLat  *obs.Histogram
@@ -62,7 +61,7 @@ type Hierarchy struct {
 // New builds a hierarchy for the given configuration.
 func New(cfg Config) *Hierarchy {
 	cfg.validate()
-	h := &Hierarchy{cfg: cfg, mem: newMemory(), gen: 1, pres: make(map[Addr]uint64)}
+	h := &Hierarchy{cfg: cfg, mem: newMemory(), gen: 1, pres: make(map[Addr]presMask)}
 	for i := 0; i < cfg.Cores; i++ {
 		h.l1s = append(h.l1s, newCache(fmt.Sprintf("L1.%d", i), i, cfg.L1Size, cfg.L1Ways, h))
 	}
@@ -73,15 +72,18 @@ func New(cfg Config) *Hierarchy {
 
 // markPresent records that cache c may hold a version of lineAddr.
 func (h *Hierarchy) markPresent(c *cache, lineAddr Addr) {
-	h.pres[lineAddr] |= 1 << c.id
+	m := h.pres[lineAddr]
+	m.set(c.id)
+	h.pres[lineAddr] = m
 }
 
 // clearPresent records that cache c holds no version of lineAddr. It must
 // only be called when absence has actually been verified (insert's victim
 // rescan, or a sweep that found the set empty for the tag).
 func (h *Hierarchy) clearPresent(c *cache, lineAddr Addr) {
-	m := h.pres[lineAddr] &^ (1 << c.id)
-	if m == 0 {
+	m := h.pres[lineAddr]
+	m.clear(c.id)
+	if m.empty() {
 		delete(h.pres, lineAddr)
 	} else {
 		h.pres[lineAddr] = m
@@ -91,7 +93,7 @@ func (h *Hierarchy) clearPresent(c *cache, lineAddr Addr) {
 // holders returns the presence mask for lineAddr: the caches a snoop or
 // protocol sweep must visit. Caches outside the mask provably hold no
 // version of the line, so skipping them is invisible to the protocol.
-func (h *Hierarchy) holders(lineAddr Addr) uint64 { return h.pres[lineAddr] }
+func (h *Hierarchy) holders(lineAddr Addr) presMask { return h.pres[lineAddr] }
 
 // sweepVersions applies fn to every settled, valid version of lineAddr in
 // every cache that may hold one, in deterministic cache order (L1.0 … L2).
@@ -101,22 +103,25 @@ func (h *Hierarchy) holders(lineAddr Addr) uint64 { return h.pres[lineAddr] }
 // transition.
 func (h *Hierarchy) sweepVersions(lineAddr Addr, fn func(*cache, *Line) bool) {
 	mask := h.holders(lineAddr)
-	for mask != 0 {
-		i := bits.TrailingZeros64(mask)
-		mask &^= 1 << i
-		c := h.all[i]
-		s := c.set(lineAddr)
-		n := 0
-		for w := range s {
-			if s[w].St != Invalid && s[w].Tag == lineAddr {
-				n++
-				if !fn(c, &s[w]) {
-					return
+	for wi := 0; wi < presWords; wi++ {
+		word := mask[wi]
+		for word != 0 {
+			i := wi<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			c := h.all[i]
+			s := c.set(lineAddr)
+			n := 0
+			for w := range s {
+				if s[w].St != Invalid && s[w].Tag == lineAddr {
+					n++
+					if !fn(c, &s[w]) {
+						return
+					}
 				}
 			}
-		}
-		if n == 0 {
-			h.clearPresent(c, lineAddr)
+			if n == 0 {
+				h.clearPresent(c, lineAddr)
+			}
 		}
 	}
 }
@@ -781,15 +786,18 @@ func (h *Hierarchy) snoop(core int, lineAddr Addr, eff vid.V) (*Line, *cache) {
 		}
 	}
 	mask := h.holders(lineAddr)
-	for mask != 0 {
-		i := bits.TrailingZeros64(mask)
-		mask &^= 1 << i
-		if i == core {
-			continue // the requester's own L1 does not respond
-		}
-		c := h.all[i]
-		if ln := c.findHit(lineAddr, eff, true); ln != nil {
-			consider(ln, c)
+	for wi := 0; wi < presWords; wi++ {
+		word := mask[wi]
+		for word != 0 {
+			i := wi<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			if i == core {
+				continue // the requester's own L1 does not respond
+			}
+			c := h.all[i]
+			if ln := c.findHit(lineAddr, eff, true); ln != nil {
+				consider(ln, c)
+			}
 		}
 	}
 	return best, bestCache
@@ -885,27 +893,30 @@ func (h *Hierarchy) dropSpecSharedCopies(lineAddr Addr) {
 // presence mask inline rather than through sweepVersions.
 func (h *Hierarchy) scanHighs(lineAddr Addr) (maxHigh, maxShadow vid.V) {
 	mask := h.holders(lineAddr)
-	for mask != 0 {
-		i := bits.TrailingZeros64(mask)
-		mask &^= 1 << i
-		c := h.all[i]
-		s := c.set(lineAddr)
-		n := 0
-		for w := range s {
-			v := &s[w]
-			if v.St == Invalid || v.Tag != lineAddr {
-				continue
+	for wi := 0; wi < presWords; wi++ {
+		word := mask[wi]
+		for word != 0 {
+			i := wi<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			c := h.all[i]
+			s := c.set(lineAddr)
+			n := 0
+			for w := range s {
+				v := &s[w]
+				if v.St == Invalid || v.Tag != lineAddr {
+					continue
+				}
+				n++
+				if v.St.latest() && v.High > maxHigh {
+					maxHigh = v.High
+				}
+				if sh := v.shadow(h.epoch); sh > maxShadow {
+					maxShadow = sh
+				}
 			}
-			n++
-			if v.St.latest() && v.High > maxHigh {
-				maxHigh = v.High
+			if n == 0 {
+				h.clearPresent(c, lineAddr)
 			}
-			if sh := v.shadow(h.epoch); sh > maxShadow {
-				maxShadow = sh
-			}
-		}
-		if n == 0 {
-			h.clearPresent(c, lineAddr)
 		}
 	}
 	return maxHigh, maxShadow
@@ -960,7 +971,10 @@ func (h *Hierarchy) install(c *cache, ln Line) *Line {
 			return v
 		}
 	}
-	panic(fmt.Sprintf("memsys: %s: installed line %v not found", c.name, &ln))
+	// Format via a copy: taking &ln here would make the parameter escape
+	// and put a Line-sized heap allocation on every install call.
+	bad := ln
+	panic(fmt.Sprintf("memsys: %s: installed line %v not found", c.name, &bad))
 }
 
 // placeVictim handles an evicted line. Clean non-speculative lines and S-S

@@ -25,7 +25,7 @@ import (
 // full list):
 //
 //  1. Structural (§4.1): tags are line-aligned and map to the frame's set;
-//     states are in range; LRU stamps never exceed the global LRU clock and
+//     states are in range; LRU stamps never exceed the cache's LRU clock and
 //     are unique within a set; no two frames of one set hold the same
 //     (tag, modVID, speculative?) version — insert must have merged them.
 //  2. Settling (§4.6, §5.3): after settling against (epoch, LC), no line
@@ -191,8 +191,8 @@ func (h *Hierarchy) checkSet(c *cache, si int) error {
 		if c.setIndex(ln.Tag) != si {
 			return h.violation(ln.Tag, "%s set %d way %d: tag %#x belongs in set %d", c.name, si, wi, ln.Tag, c.setIndex(ln.Tag))
 		}
-		if ln.lru == 0 || ln.lru > h.lruClock {
-			return h.violation(ln.Tag, "%s set %d way %d: LRU stamp %d outside (0, clock=%d]", c.name, si, wi, ln.lru, h.lruClock)
+		if ln.lru == 0 || ln.lru > c.lruClock {
+			return h.violation(ln.Tag, "%s set %d way %d: LRU stamp %d outside (0, clock=%d]", c.name, si, wi, ln.lru, c.lruClock)
 		}
 		if prev, ok := lrus[ln.lru]; ok {
 			return h.violation(ln.Tag, "%s set %d: ways %d and %d share LRU stamp %d", c.name, si, prev, wi, ln.lru)
@@ -243,13 +243,13 @@ func (h *Hierarchy) lineViews(la Addr) []sanView {
 func (h *Hierarchy) checkFilter(la Addr) error {
 	mask := h.pres[la]
 	for _, c := range h.all {
-		if mask&(1<<c.id) != 0 {
+		if mask.has(c.id) {
 			continue
 		}
 		set := c.sets[c.setIndex(la)]
 		for wi := range set {
 			if set[wi].St != Invalid && set[wi].Tag == la {
-				return h.violation(la, "%s holds %v but its snoop-filter presence bit is clear (mask %#x)",
+				return h.violation(la, "%s holds %v but its snoop-filter presence bit is clear (mask %v)",
 					c.name, &set[wi], mask)
 			}
 		}
@@ -460,7 +460,7 @@ func (h *Hierarchy) checkLine(la Addr) error {
 // registers), the dump attached to sanitizer violation reports.
 func (h *Hierarchy) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Hierarchy{epoch=%d lc=%d lruClock=%d overflow=%v}\n", h.epoch, h.lc, h.lruClock, h.pendingOverflow)
+	fmt.Fprintf(&b, "Hierarchy{epoch=%d lc=%d overflow=%v}\n", h.epoch, h.lc, h.pendingOverflow)
 	for _, c := range h.allCaches() {
 		n := 0
 		for si := range c.sets {
@@ -471,7 +471,7 @@ func (h *Hierarchy) String() string {
 				}
 			}
 		}
-		fmt.Fprintf(&b, "  %s: %d valid lines\n", c.name, n)
+		fmt.Fprintf(&b, "  %s: %d valid lines (lruClock=%d)\n", c.name, n, c.lruClock)
 		for si := range c.sets {
 			set := c.sets[si]
 			for wi := range set {

@@ -13,8 +13,8 @@ func plant(h *Hierarchy, c *cache, ln Line) {
 	set := c.sets[c.setIndex(ln.Tag)]
 	for i := range set {
 		if set[i].St == Invalid {
-			h.lruClock++
-			ln.lru = h.lruClock
+			c.lruClock++
+			ln.lru = c.lruClock
 			set[i] = ln
 			// Planted lines model a line that legally entered the cache,
 			// so keep the snoop-filter presence bits covering it.
@@ -168,7 +168,7 @@ func TestSanitizeDetectsViolations(t *testing.T) {
 			build: func(h *Hierarchy) {
 				plant(h, h.l1s[0], specLine(h, addrA, SpecModified, 2, 2))
 				set := h.l1s[0].sets[h.l1s[0].setIndex(addrA)]
-				set[0].lru = h.lruClock + 100
+				set[0].lru = h.l1s[0].lruClock + 100
 			},
 			want: "LRU stamp",
 		},

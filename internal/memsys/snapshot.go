@@ -30,11 +30,10 @@ func (h *Hierarchy) Clone() *Hierarchy {
 		mem:             h.mem.clone(),
 		lc:              h.lc,
 		epoch:           h.epoch,
-		lruClock:        h.lruClock,
 		stats:           h.stats,
 		gen:             h.gen,
 		pendingOverflow: h.pendingOverflow,
-		pres:            make(map[Addr]uint64, len(h.pres)),
+		pres:            make(map[Addr]presMask, len(h.pres)),
 		tracker:         nil,
 		tracer:          nil,
 		prof:            nil,
@@ -57,12 +56,13 @@ func (h *Hierarchy) Clone() *Hierarchy {
 // clone deep-copies one cache level, re-homing it onto hierarchy h.
 func (c *cache) clone(h *Hierarchy) *cache {
 	cp := &cache{
-		name:    c.name,
-		id:      c.id,
-		hier:    h,
-		numSets: c.numSets,
-		ways:    c.ways,
-		hits:    c.hits,
+		name:     c.name,
+		id:       c.id,
+		hier:     h,
+		numSets:  c.numSets,
+		ways:     c.ways,
+		hits:     c.hits,
+		lruClock: c.lruClock,
 	}
 	cp.sets = make([][]Line, len(c.sets))
 	for i := range c.sets {

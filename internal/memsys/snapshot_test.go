@@ -87,7 +87,9 @@ func TestFingerprintWayPermutation(t *testing.T) {
 			}
 		}
 	}
-	h.lruClock *= 2
+	for _, c := range h.all {
+		c.lruClock *= 2
+	}
 	if h.Fingerprint(snapAddrs) != fp {
 		t.Fatal("order-preserving LRU rescale changed the fingerprint")
 	}

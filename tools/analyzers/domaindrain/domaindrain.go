@@ -1,0 +1,225 @@
+// Package domaindrain keeps simulation-visible output out of goroutines in
+// the intra-run simulation layer (internal/engine, internal/memsys).
+//
+// The domain-sharded scheduler (DESIGN.md §16) runs one goroutine per domain
+// inside each conservative time quantum. Everything those goroutines compute
+// that feeds simulation-visible output — architectural counters, profiler
+// charges, metric instruments, trace events — must be buffered as plain
+// per-core records and applied by the coordinator in the canonical barrier
+// drain (cycle, core, issue order), because applying it from a worker would
+// interleave in host-scheduler order and silently break the byte-identical
+// determinism contract.
+//
+// The analyzer finds every function reachable from a `go` statement in the
+// scoped packages (the goroutine entry itself, function literals launched
+// directly, and every statically resolvable same-package callee) and reports:
+//
+//   - calls into hmtx/internal/prof, hmtx/internal/metrics or
+//     hmtx/internal/obs, except the Enabled guard query — charging,
+//     observing or emitting from a worker is exactly the nondeterministic
+//     ordering the drain exists to prevent;
+//   - writes to fields of the engine or memsys Stats structs — the
+//     architectural counters are simulation-visible output too.
+//
+// Buffering records, publishing atomic bounds, and channel handoffs are all
+// fine: the rule is only that effects on simulation-visible state happen on
+// the coordinator, after the barrier. Test files are exempt: test goroutines
+// are not simulation schedulers.
+package domaindrain
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"hmtx/tools/analyzers/analysis"
+	"hmtx/tools/analyzers/analysis/callgraph"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "domaindrain",
+	Doc:  "requires goroutine state in engine/memsys to reach simulation-visible output via the canonical barrier drain",
+	Run:  run,
+}
+
+// sinkPkgs are the package-path suffixes whose calls count as
+// simulation-visible output effects ("Enabled" excepted).
+var sinkPkgs = []string{
+	"internal/prof",
+	"internal/metrics",
+	"internal/obs",
+}
+
+// statsPkgs are the package-path suffixes whose "Stats" struct fields are
+// architectural counters.
+var statsPkgs = []string{
+	"internal/engine",
+	"internal/memsys",
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	pkg := strings.TrimSuffix(pass.PkgPath, "_test")
+	if !strings.HasSuffix(pkg, "internal/engine") && !strings.HasSuffix(pkg, "internal/memsys") {
+		return nil, nil
+	}
+	graph := callgraph.Build(pass)
+
+	// Roots: functions entered by a `go` statement, and the bodies of
+	// function literals launched directly. Literal bodies are scanned in
+	// place; their statically resolvable callees join the worklist like any
+	// declared root.
+	reached := map[*types.Func]string{} // reachable function -> goroutine entry description
+	var work []*types.Func
+	add := func(fn *types.Func, via string) {
+		if fn == nil || reached[fn] != "" {
+			return
+		}
+		if graph.Node(fn) == nil {
+			return // out-of-package callee: only sink calls matter, checked at the call site
+		}
+		reached[fn] = via
+		work = append(work, fn)
+	}
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+				via := "goroutine literal"
+				checkBody(pass, lit.Body, via)
+				for _, callee := range bodyCallees(pass, lit.Body) {
+					add(callee, via)
+				}
+				return true
+			}
+			if fn := callgraph.StaticCallee(pass.TypesInfo, gs.Call); fn != nil {
+				add(fn, "goroutine "+fn.Name())
+			}
+			return true
+		})
+	}
+
+	for len(work) > 0 {
+		fn := work[len(work)-1]
+		work = work[:len(work)-1]
+		node := graph.Node(fn)
+		if node == nil || node.Decl == nil || node.Decl.Body == nil {
+			continue
+		}
+		via := reached[fn]
+		if strings.HasSuffix(pass.Fset.Position(node.Decl.Pos()).Filename, "_test.go") {
+			continue
+		}
+		checkBody(pass, node.Decl.Body, via)
+		for _, callee := range node.Callees {
+			add(callee, via)
+		}
+	}
+	return nil, nil
+}
+
+// bodyCallees lists the statically resolvable call targets lexically inside
+// body.
+func bodyCallees(pass *analysis.Pass, body *ast.BlockStmt) []*types.Func {
+	var out []*types.Func
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if fn := callgraph.StaticCallee(pass.TypesInfo, call); fn != nil {
+				out = append(out, fn)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// checkBody reports every simulation-visible output effect inside body,
+// which executes on a domain goroutine reached via the given entry.
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt, via string) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if name, ok := sinkCall(pass, n); ok {
+				pass.Reportf(n.Pos(), "%s called on a domain goroutine (via %s); buffer the effect and apply it in the canonical barrier drain", name, via)
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if name, ok := statsWrite(pass, lhs); ok {
+					pass.Reportf(lhs.Pos(), "%s written on a domain goroutine (via %s); buffer the effect and apply it in the canonical barrier drain", name, via)
+				}
+			}
+		case *ast.IncDecStmt:
+			if name, ok := statsWrite(pass, n.X); ok {
+				pass.Reportf(n.X.Pos(), "%s written on a domain goroutine (via %s); buffer the effect and apply it in the canonical barrier drain", name, via)
+			}
+		}
+		return true
+	})
+}
+
+// sinkCall reports whether call invokes a simulation-visible output API:
+// anything in the prof, metrics or obs packages except the Enabled query.
+func sinkCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil || fn.Name() == "Enabled" {
+		return "", false
+	}
+	for _, suffix := range sinkPkgs {
+		if strings.HasSuffix(fn.Pkg().Path(), suffix) {
+			return fmt.Sprintf("%s.%s", fn.Pkg().Name(), fn.Name()), true
+		}
+	}
+	return "", false
+}
+
+// calleeFunc resolves the called function or method, including methods
+// reached through interface values (which have no static callee but still
+// name the API being invoked).
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel, ok := pass.TypesInfo.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			fn, _ := sel.Obj().(*types.Func)
+			return fn
+		}
+		fn, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// statsWrite reports whether e writes a field of an engine or memsys Stats
+// struct (directly or through a pointer).
+func statsWrite(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok {
+		return "", false
+	}
+	t := tv.Type
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Stats" || named.Obj().Pkg() == nil {
+		return "", false
+	}
+	for _, suffix := range statsPkgs {
+		if strings.HasSuffix(named.Obj().Pkg().Path(), suffix) {
+			return fmt.Sprintf("%s.Stats.%s", named.Obj().Pkg().Name(), sel.Sel.Name), true
+		}
+	}
+	return "", false
+}

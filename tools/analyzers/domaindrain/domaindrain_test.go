@@ -1,0 +1,16 @@
+package domaindrain_test
+
+import (
+	"testing"
+
+	"hmtx/tools/analyzers/analysis/analysistest"
+	"hmtx/tools/analyzers/domaindrain"
+)
+
+func TestDomaindrain(t *testing.T) {
+	// sim/internal/engine carries the want comments; other launches
+	// goroutines that charge directly but is out of scope and must stay
+	// silent.
+	analysistest.Run(t, analysistest.TestData(), domaindrain.Analyzer,
+		"sim/internal/engine", "other")
+}

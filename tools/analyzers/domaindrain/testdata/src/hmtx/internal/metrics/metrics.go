@@ -1,0 +1,14 @@
+// Package metrics is a minimal stand-in for hmtx/internal/metrics: the
+// analyzer matches calls by package-path suffix, so the fixture only needs
+// the methods the rule cares about.
+package metrics
+
+type Series struct{ n int64 }
+
+func (s *Series) Enabled() bool { return s != nil }
+
+func (s *Series) Tick(cycle int64) {}
+
+type Hist struct{ n int64 }
+
+func (h *Hist) Observe(v int64) {}

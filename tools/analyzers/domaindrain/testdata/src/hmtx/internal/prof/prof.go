@@ -1,0 +1,25 @@
+// Package prof is a minimal stand-in for hmtx/internal/prof: the analyzer
+// matches the Collector type by name and package-path suffix, so the fixture
+// only needs the methods the gate cares about.
+package prof
+
+type Bucket uint8
+
+const (
+	Compute Bucket = iota
+	Bus
+)
+
+type Collector struct{ total int64 }
+
+func (c *Collector) Enabled() bool { return c != nil }
+
+func (c *Collector) Charge(core int, seq uint64, b Bucket, cycles int64) {}
+
+func (c *Collector) ChargeLine(core int, seq uint64, b Bucket, cycles int64, line uint64) {}
+
+func (c *Collector) LineConflict(line uint64) {}
+
+func (c *Collector) CoreDone(core int, cycles int64) {}
+
+func (c *Collector) RunEnd(makespan int64, aborted bool, lastCommitted uint64) {}

@@ -1,0 +1,16 @@
+// Package other is outside the engine/memsys scope: goroutines here may talk
+// to the instrument packages directly (e.g. the experiments worker pool, rate
+// reporters), so the analyzer must stay silent.
+package other
+
+import "hmtx/internal/prof"
+
+type runner struct {
+	prof *prof.Collector
+}
+
+func (r *runner) spawn() {
+	go func() {
+		r.prof.Charge(0, 1, prof.Compute, 1)
+	}()
+}

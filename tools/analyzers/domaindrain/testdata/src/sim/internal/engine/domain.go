@@ -1,0 +1,104 @@
+// Fixture for domaindrain: the package path ends in internal/engine, so the
+// rule applies. Domain-worker goroutines may buffer records and publish
+// bounds, but every simulation-visible effect — profiler charges, metric
+// ticks, Stats counter writes — must happen on the coordinator, in the
+// canonical barrier drain.
+package engine
+
+import (
+	"sync"
+
+	"hmtx/internal/metrics"
+	"hmtx/internal/prof"
+)
+
+type Stats struct {
+	Instructions uint64
+	Branches     uint64
+}
+
+type rec struct {
+	key    int64
+	cycles int64
+}
+
+type sys struct {
+	stats  Stats
+	prof   *prof.Collector
+	series *metrics.Series
+	recs   []rec
+	mu     sync.Mutex
+}
+
+// runRound is the good pattern: workers buffer, the coordinator drains.
+func (s *sys) runRound() {
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.workerBuffer(0)
+		}()
+	}
+	wg.Wait()
+	s.drain() // not on a goroutine: effects apply here, in canonical order
+}
+
+// workerBuffer only appends records and reads the Enabled guards: no
+// diagnostics.
+func (s *sys) workerBuffer(k int64) {
+	if s.series.Enabled() {
+		k++
+	}
+	s.mu.Lock()
+	s.recs = append(s.recs, rec{key: k, cycles: 2})
+	s.mu.Unlock()
+}
+
+// drain applies the buffered effects on the coordinator: no diagnostics.
+func (s *sys) drain() {
+	for _, r := range s.recs {
+		s.stats.Instructions++
+		if s.series.Enabled() {
+			s.series.Tick(r.key)
+		}
+		if s.prof.Enabled() {
+			s.prof.Charge(0, 1, prof.Compute, r.cycles)
+		}
+	}
+	s.recs = s.recs[:0]
+}
+
+// badLiteral emits directly from a goroutine literal.
+func (s *sys) badLiteral() {
+	go func() {
+		s.series.Tick(1)                      // want `metrics.Tick called on a domain goroutine`
+		s.prof.Charge(0, 1, prof.Compute, 2)  // want `prof.Charge called on a domain goroutine`
+		s.stats.Instructions++                // want `engine.Stats.Instructions written on a domain goroutine`
+		s.stats.Branches = s.stats.Branches + 1 // want `engine.Stats.Branches written on a domain goroutine`
+	}()
+}
+
+// badWorker is entered via a go statement below; its effects are flagged
+// even though the go statement is elsewhere.
+func (s *sys) badWorker() {
+	s.chargeHelper(4)
+}
+
+// chargeHelper is reached transitively from the goroutine entry.
+func (s *sys) chargeHelper(cycles int64) {
+	if s.prof.Enabled() {
+		s.prof.ChargeLine(0, 1, prof.Bus, cycles, 0x40) // want `prof.ChargeLine called on a domain goroutine`
+	}
+}
+
+func (s *sys) launch() {
+	go s.badWorker()
+}
+
+// coordinatorPath calls the same helper without any goroutine: the helper is
+// already flagged via launch's reachability, but calls on the coordinator do
+// not add diagnostics of their own.
+func (s *sys) coordinatorOnly() {
+	s.drain()
+}

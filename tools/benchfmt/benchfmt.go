@@ -34,6 +34,12 @@ type Doc struct {
 	Suite Suite `json:"suite"`
 	// Benchmarks holds `go test -bench` microbenchmark results by name.
 	Benchmarks []Benchmark `json:"benchmarks,omitempty"`
+	// LargeRuns holds wall-clock measurements of a large simulated
+	// configuration (64+ cores) at several engine -domains settings, so a
+	// snapshot records how intra-run parallelism scales on this host. The
+	// Cycles digest must agree across entries: the domain-sharded scheduler
+	// is byte-identical to serial, so only wall-clock may differ.
+	LargeRuns []LargeRun `json:"large_runs,omitempty"`
 	// Notes records caveats about the snapshot (e.g. a single-CPU host
 	// cannot show parallel-suite speedups).
 	Notes []string `json:"notes,omitempty"`
@@ -51,12 +57,31 @@ type Host struct {
 type Suite struct {
 	// Parallelism is the -parallel setting the suite ran with.
 	Parallelism int `json:"parallelism"`
+	// Domains is the engine -domains setting (intra-simulation parallel
+	// scheduler; 1 = serial reference). Results are byte-identical at any
+	// setting, so it is recorded purely to contextualise WallSeconds.
+	Domains int `json:"domains"`
 	// WallSeconds is the host time the suite took.
 	WallSeconds float64 `json:"wall_seconds"`
 	// GeomeanHMTX and TotalSeqCycles digest the simulated results: they
 	// are deterministic, so two comparable snapshots must agree exactly.
 	GeomeanHMTX    float64 `json:"geomean_hmtx_speedup"`
 	TotalSeqCycles int64   `json:"total_seq_cycles"`
+}
+
+// LargeRun is one timed run of the large scaling configuration.
+type LargeRun struct {
+	// Cores is the simulated core count.
+	Cores int `json:"cores"`
+	// Domains is the engine scheduler setting for this run.
+	Domains int `json:"domains"`
+	// WallSeconds is the host time the run took.
+	WallSeconds float64 `json:"wall_seconds"`
+	// Cycles is the simulated execution time — deterministic, so every
+	// entry of a snapshot must report the same value.
+	Cycles int64 `json:"cycles"`
+	// Instructions digests the simulated work, same determinism contract.
+	Instructions uint64 `json:"instructions"`
 }
 
 // Benchmark is one `go test -bench` result line.

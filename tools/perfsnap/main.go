@@ -27,7 +27,10 @@ import (
 	"runtime"
 	"time"
 
+	"hmtx/internal/engine"
 	"hmtx/internal/experiments"
+	"hmtx/internal/memsys"
+	"hmtx/internal/vid"
 	"hmtx/tools/benchfmt"
 )
 
@@ -35,6 +38,8 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("perfsnap: ")
 	parallel := flag.Int("parallel", 0, "suite parallelism (0 = GOMAXPROCS, 1 = serial)")
+	domains := flag.Int("domains", 1, "engine -domains setting for the suite run (1 = serial reference scheduler)")
+	largeCores := flag.Int("large-cores", 0, "also time a large configuration with this many simulated cores at -domains 1,2,4,8 (0 = skip)")
 	scale := flag.Int("scale", 1, "iteration-count multiplier for every benchmark")
 	benchFile := flag.String("bench-file", "", "fold in `go test -bench -benchmem` output from this file")
 	note := flag.String("note", "", "caveat to record in the document")
@@ -71,6 +76,7 @@ func main() {
 	cfg := experiments.Default()
 	cfg.Scale = *scale
 	cfg.Parallelism = *parallel
+	cfg.Domains = *domains
 	progress := os.Stderr
 	if *quiet {
 		progress = nil
@@ -86,9 +92,14 @@ func main() {
 	}
 	doc.Suite = benchfmt.Suite{
 		Parallelism:    *parallel,
+		Domains:        *domains,
 		WallSeconds:    wall.Seconds(),
 		GeomeanHMTX:    bd.GeomeanHMTX,
 		TotalSeqCycles: totalSeq,
+	}
+
+	if *largeCores > 0 {
+		doc.LargeRuns = runLarge(*largeCores, progress)
 	}
 
 	if *note != "" {
@@ -96,6 +107,9 @@ func main() {
 	}
 	if runtime.NumCPU() == 1 {
 		doc.Notes = append(doc.Notes, "single-CPU host: suite parallelism cannot improve wall-clock here")
+		if *largeCores > 0 {
+			doc.Notes = append(doc.Notes, "single-CPU host: large_runs record -domains overhead only; wall-clock speedup needs a multi-CPU host")
+		}
 	}
 
 	f, err := os.Create(*out)
@@ -109,6 +123,72 @@ func main() {
 	if err := f.Close(); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "perfsnap: suite %.2fs wall (parallelism %d), %d microbenchmarks -> %s\n",
-		wall.Seconds(), *parallel, len(doc.Benchmarks), *out)
+	fmt.Fprintf(os.Stderr, "perfsnap: suite %.2fs wall (parallelism %d, domains %d), %d microbenchmarks -> %s\n",
+		wall.Seconds(), *parallel, *domains, len(doc.Benchmarks), *out)
+}
+
+// largeProgs builds the scaling workload for -large-cores: every core runs
+// transactions over a private line (loads, computes, learned branches), with
+// commit arbitration as the only cross-core serialisation — the same shape as
+// the engine's BenchmarkScheduler, at a configurable core count.
+func largeProgs(nCores, txs int) []engine.Program {
+	progs := make([]engine.Program, nCores)
+	for i := 0; i < nCores; i++ {
+		i := i
+		progs[i] = func(e *engine.Env) {
+			base := memsys.Addr(0x100000 + i*0x1000)
+			for r := 0; r < txs; r++ {
+				seq := vid.Seq(r*nCores + i + 1)
+				e.Begin(seq)
+				e.Store(base, uint64(r))
+				for k := 0; k < 40; k++ {
+					e.Load(base)
+					e.Compute(int64(2 + k%7))
+					e.Branch(uint64(i), true)
+				}
+				e.Commit(seq)
+			}
+		}
+	}
+	return progs
+}
+
+// runLarge times the large configuration at -domains 1, 2, 4 and 8 and
+// verifies the determinism contract across them: identical simulated cycles
+// and instructions, only wall-clock may differ.
+func runLarge(cores int, progress *os.File) []benchfmt.LargeRun {
+	const txs = 3
+	var runs []benchfmt.LargeRun
+	for _, d := range []int{1, 2, 4, 8} {
+		cfg := engine.DefaultConfig()
+		cfg.Mem.Cores = cores
+		cfg.Mem.VIDSpace = vid.Space{Bits: 8}
+		cfg.Domains = d
+		start := time.Now()
+		s := engine.New(cfg)
+		res := s.Run(largeProgs(cores, txs))
+		wall := time.Since(start)
+		if res.Aborted {
+			log.Fatalf("large run (domains %d) aborted: %s", d, res.Cause)
+		}
+		st := s.Stats()
+		runs = append(runs, benchfmt.LargeRun{
+			Cores:        cores,
+			Domains:      d,
+			WallSeconds:  wall.Seconds(),
+			Cycles:       res.Cycles,
+			Instructions: st.Instructions,
+		})
+		if progress != nil {
+			fmt.Fprintf(progress, "perfsnap: large %d-core run, domains %d: %.3fs wall, %d cycles\n",
+				cores, d, wall.Seconds(), res.Cycles)
+		}
+	}
+	for _, r := range runs[1:] {
+		if r.Cycles != runs[0].Cycles || r.Instructions != runs[0].Instructions {
+			log.Fatalf("large run determinism violated: domains %d simulated %d cycles / %d instructions, serial %d / %d",
+				r.Domains, r.Cycles, r.Instructions, runs[0].Cycles, runs[0].Instructions)
+		}
+	}
+	return runs
 }
