@@ -6,9 +6,12 @@
 //
 // With no arguments it checks ./... . It exits non-zero if any analyzer
 // reports a finding, printing one file:line:col line per finding (or, with
-// -json, a stable sorted JSON array). With -baseline, findings recorded in
-// the given JSON file — produced by an earlier -json run — are tolerated:
-// only new findings fail the run, so a gate can be introduced before every
+// -json, an "hmtx-lint/v1" document: schema header, the analyzer names and
+// versions that ran, and the sorted findings — a versioned artifact
+// hmtxreport diff understands like the metric documents). With -baseline,
+// findings recorded in the given JSON file — an earlier -json run, in either
+// the v1 document form or the legacy bare-array form — are tolerated: only
+// new findings fail the run, so a gate can be introduced before every
 // pre-existing finding is paid down.
 //
 // The rules (see tools/analyzers/*) enforce the determinism contract from
@@ -18,7 +21,11 @@
 // simulator fast path (tracegate), no unguarded profiler charges there
 // either (profgate), and no unguarded metric-instrument records there
 // (metricsgate), no simulation-visible output effects on domain-worker
-// goroutines outside the canonical barrier drain (domaindrain) — plus the
+// goroutines outside the canonical barrier drain (domaindrain, v2: callgraph
+// + value-flow reachability, so workers dispatched through function pointers
+// or method values are covered), statically allocation-free //hmtx:hotpath
+// functions (hotalloc), atomically-consistent access to sync/atomic-managed
+// struct fields from goroutine-reachable code (atomicfield) — plus the
 // transactional-API rules: every engine.Env
 // Begin matched by Commit/Abort/Begin(0) with no escaping handles
 // (txbalance), model-checker snapshot methods covering every field of
@@ -31,6 +38,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -39,10 +47,13 @@ import (
 	"path/filepath"
 	"sort"
 
+	"hmtx/internal/lintdoc"
 	"hmtx/tools/analyzers/analysis"
+	"hmtx/tools/analyzers/atomicfield"
 	"hmtx/tools/analyzers/detflow"
 	"hmtx/tools/analyzers/detrange"
 	"hmtx/tools/analyzers/domaindrain"
+	"hmtx/tools/analyzers/hotalloc"
 	"hmtx/tools/analyzers/metricsgate"
 	"hmtx/tools/analyzers/noclock"
 	"hmtx/tools/analyzers/profgate"
@@ -54,9 +65,11 @@ import (
 )
 
 var analyzers = []*analysis.Analyzer{
+	atomicfield.Analyzer,
 	detflow.Analyzer,
 	detrange.Analyzer,
 	domaindrain.Analyzer,
+	hotalloc.Analyzer,
 	metricsgate.Analyzer,
 	noclock.Analyzer,
 	profgate.Analyzer,
@@ -67,16 +80,9 @@ var analyzers = []*analysis.Analyzer{
 	txpath.Analyzer,
 }
 
-// A Finding is one diagnostic in the stable external format. File paths are
-// relative to the working directory when possible so baselines survive
-// checkouts at different absolute paths.
-type Finding struct {
-	File     string `json:"file"`
-	Line     int    `json:"line"`
-	Col      int    `json:"col"`
-	Analyzer string `json:"analyzer"`
-	Message  string `json:"message"`
-}
+// Finding is the stable external format, shared with hmtxreport through
+// internal/lintdoc.
+type Finding = lintdoc.Finding
 
 func main() {
 	log.SetFlags(0)
@@ -132,7 +138,7 @@ func main() {
 		if findings == nil {
 			findings = []Finding{}
 		}
-		if err := enc.Encode(findings); err != nil {
+		if err := enc.Encode(lintDoc(findings)); err != nil {
 			log.Fatal(err)
 		}
 	} else {
@@ -184,16 +190,44 @@ func sortFindings(fs []Finding) {
 	})
 }
 
+// lintDoc wraps sorted findings in the versioned document: schema header and
+// the analyzer roster (name + rule version, sorted by name — the analyzers
+// slice is kept sorted).
+func lintDoc(findings []Finding) *lintdoc.Doc {
+	doc := &lintdoc.Doc{Schema: lintdoc.Schema, Findings: findings}
+	for _, a := range analyzers {
+		v := a.Version
+		if v == "" {
+			v = "1"
+		}
+		doc.Analyzers = append(doc.Analyzers, lintdoc.Analyzer{Name: a.Name, Version: v})
+	}
+	return doc
+}
+
+// readBaseline accepts both baseline formats: the hmtx-lint/v1 document and
+// the legacy bare findings array.
 func readBaseline(path string) ([]Finding, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	var fs []Finding
-	if err := json.Unmarshal(data, &fs); err != nil {
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	if len(trimmed) > 0 && trimmed[0] == '[' {
+		var fs []Finding
+		if err := json.Unmarshal(data, &fs); err != nil {
+			return nil, fmt.Errorf("parsing baseline %s: %v", path, err)
+		}
+		return fs, nil
+	}
+	var doc lintdoc.Doc
+	if err := json.Unmarshal(data, &doc); err != nil {
 		return nil, fmt.Errorf("parsing baseline %s: %v", path, err)
 	}
-	return fs, nil
+	if doc.Schema != lintdoc.Schema {
+		return nil, fmt.Errorf("baseline %s: unsupported schema %q (want %q or a bare findings array)", path, doc.Schema, lintdoc.Schema)
+	}
+	return doc.Findings, nil
 }
 
 // diffBaseline returns the findings not accounted for by the baseline.

@@ -1,8 +1,11 @@
 package main
 
 import (
+	"os"
 	"path/filepath"
 	"testing"
+
+	"hmtx/internal/lintdoc"
 )
 
 func TestSortFindingsStable(t *testing.T) {
@@ -57,6 +60,63 @@ func TestDiffBaselineEmptyBaseline(t *testing.T) {
 	findings := []Finding{{File: "x.go", Line: 1, Col: 1, Analyzer: "a", Message: "m"}}
 	if fresh := diffBaseline(findings, nil); len(fresh) != 1 {
 		t.Fatalf("got %d, want all findings fresh with an empty baseline", len(fresh))
+	}
+}
+
+// TestReadBaselineFormats verifies both accepted baseline formats: the
+// legacy bare array and the hmtx-lint/v1 document.
+func TestReadBaselineFormats(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	legacy := write("legacy.json", `[{"file":"x.go","line":1,"col":2,"analyzer":"hotalloc","message":"m"}]`)
+	doc := write("doc.json", `{"schema":"hmtx-lint/v1","analyzers":[{"name":"hotalloc","version":"1"}],`+
+		`"findings":[{"file":"x.go","line":1,"col":2,"analyzer":"hotalloc","message":"m"}]}`)
+	for _, path := range []string{legacy, doc} {
+		fs, err := readBaseline(path)
+		if err != nil {
+			t.Fatalf("readBaseline(%s): %v", path, err)
+		}
+		if len(fs) != 1 || fs[0].Analyzer != "hotalloc" || fs[0].Line != 1 {
+			t.Errorf("readBaseline(%s) = %+v", path, fs)
+		}
+	}
+	bad := write("bad.json", `{"schema":"hmtx-series/v1"}`)
+	if _, err := readBaseline(bad); err == nil {
+		t.Error("foreign schema accepted as baseline")
+	}
+}
+
+// TestLintDoc verifies the -json document header: schema tag and one
+// versioned entry per registered analyzer.
+func TestLintDoc(t *testing.T) {
+	doc := lintDoc(nil)
+	if doc.Schema != lintdoc.Schema {
+		t.Errorf("schema = %q", doc.Schema)
+	}
+	if len(doc.Analyzers) != len(analyzers) {
+		t.Fatalf("%d analyzer entries, want %d", len(doc.Analyzers), len(analyzers))
+	}
+	vers := map[string]string{}
+	for i, a := range doc.Analyzers {
+		if a.Version == "" {
+			t.Errorf("analyzer %s has empty version", a.Name)
+		}
+		if i > 0 && doc.Analyzers[i-1].Name >= a.Name {
+			t.Errorf("analyzer roster not sorted at %s", a.Name)
+		}
+		vers[a.Name] = a.Version
+	}
+	if vers["domaindrain"] != "2" {
+		t.Errorf("domaindrain version = %q, want 2 (value-flow reachability)", vers["domaindrain"])
+	}
+	if vers["hotalloc"] != "1" || vers["atomicfield"] != "1" {
+		t.Errorf("new analyzers missing from roster: %v", vers)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"hmtx/internal/lintdoc"
 	"hmtx/internal/metrics"
 	"hmtx/internal/prof"
 )
@@ -166,6 +167,57 @@ func TestDiff(t *testing.T) {
 	}
 	if !strings.Contains(stderr.String(), "schema mismatch") {
 		t.Errorf("stderr = %q", stderr.String())
+	}
+}
+
+// TestDiffLint verifies the hmtx-lint/v1 diff: roster table, new and fixed
+// finding movement, and line-drift tolerance.
+func TestDiffLint(t *testing.T) {
+	dir := t.TempDir()
+	a := lintdoc.Doc{Schema: lintdoc.Schema,
+		Analyzers: []lintdoc.Analyzer{{Name: "domaindrain", Version: "2"}, {Name: "hotalloc", Version: "1"}},
+		Findings: []lintdoc.Finding{
+			{File: "x.go", Line: 10, Col: 2, Analyzer: "hotalloc", Message: "make allocates"},
+			{File: "x.go", Line: 20, Col: 2, Analyzer: "hotalloc", Message: "fixed later"},
+		}}
+	b := lintdoc.Doc{Schema: lintdoc.Schema,
+		Analyzers: a.Analyzers,
+		Findings: []lintdoc.Finding{
+			// Same finding, moved: must not count as new.
+			{File: "x.go", Line: 14, Col: 2, Analyzer: "hotalloc", Message: "make allocates"},
+			{File: "y.go", Line: 1, Col: 1, Analyzer: "domaindrain", Message: "brand new"},
+		}}
+	write := func(name string, v any) string {
+		buf, err := json.MarshalIndent(v, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, buf, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	pa, pb := write("a.json", a), write("b.json", b)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"diff", pa, pb}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"lint diff: A has 2 findings, B has 2",
+		"domaindrain",
+		"new in B",
+		"brand new",
+		"fixed in B",
+		"fixed later",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("lint diff missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "make allocates") {
+		t.Errorf("moved finding reported as churn:\n%s", out)
 	}
 }
 

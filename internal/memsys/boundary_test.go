@@ -1,0 +1,113 @@
+package memsys
+
+import (
+	"testing"
+
+	"hmtx/internal/vid"
+)
+
+// TestConfigCoreCap pins the configuration boundary: 255 cores is the largest
+// legal system (presence bits for 255 L1s plus the L2 fit the presMask, and
+// the engine's event keys reserve 8 bits for the core id); 256 must panic.
+func TestConfigCoreCap(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Cores = 255
+	h := New(cfg)
+	if got := len(h.all); got != 256 {
+		t.Fatalf("255-core hierarchy has %d caches, want 256 (255 L1s + L2)", got)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Cores=256 did not panic")
+		}
+	}()
+	cfg.Cores = 256
+	New(cfg)
+}
+
+// TestPresMaskBoundaryBits exercises the presence bitset at every word
+// boundary and at the highest id a 255-core system uses (the L2's bit, 255).
+func TestPresMaskBoundaryBits(t *testing.T) {
+	var m presMask
+	if !m.empty() {
+		t.Fatal("zero mask not empty")
+	}
+	for _, bit := range []int{0, 63, 64, 127, 128, 254, 255} {
+		if m.has(bit) {
+			t.Fatalf("bit %d set in fresh mask", bit)
+		}
+		m.set(bit)
+		if !m.has(bit) {
+			t.Fatalf("bit %d clear after set", bit)
+		}
+	}
+	if m.empty() {
+		t.Fatal("mask with bits set reports empty")
+	}
+	// Clearing one boundary bit must not disturb its neighbours across the
+	// word seam.
+	m.clear(64)
+	if m.has(64) || !m.has(63) || !m.has(127) {
+		t.Fatalf("clear(64) disturbed neighbours: %v", m)
+	}
+	for _, bit := range []int{0, 63, 127, 128, 254, 255} {
+		m.clear(bit)
+	}
+	if !m.empty() {
+		t.Fatalf("mask not empty after clearing all bits: %v", m)
+	}
+}
+
+// TestTryLocalLoadAtCoreCap runs the parallel-round fast path on the last
+// core of a maximal 255-core hierarchy: local hits must be served (presence
+// bit 254 lives in the mask's fourth word), remote lines must be refused, and
+// a snoop transfer from another high-id core must work so the line becomes
+// locally servable afterwards.
+func TestTryLocalLoadAtCoreCap(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Cores = 255
+	h := New(cfg)
+	last := cfg.Cores - 1
+
+	h.PokeWord(addrA, 7)
+	mustLoad(t, h, last, addrA, vid.NonSpec)
+	val, _, specHit, ok := h.TryLocalLoad(last, addrA, vid.NonSpec, false)
+	if !ok || specHit || val != 7 {
+		t.Fatalf("local hit on core %d: val=%d specHit=%v ok=%v, want 7,false,true", last, val, specHit, ok)
+	}
+
+	// The line is resident only in core 254's L1 (and the L2): every other
+	// core's restricted path must refuse it rather than touch the bus.
+	if _, _, _, ok := h.TryLocalLoad(0, addrA, vid.NonSpec, false); ok {
+		t.Fatal("core 0 served a line resident in core 254's L1")
+	}
+
+	// A speculative store on core 200 moves ownership; core 254 must refuse
+	// locally until a real (serial-path) load snoops the line back.
+	const addrB = Addr(0x2000)
+	mustStore(t, h, 200, addrB, 9, 1)
+	if _, _, _, ok := h.TryLocalLoad(last, addrB, 1, false); ok {
+		t.Fatal("core 254 served a line owned by core 200")
+	}
+	if v := mustLoad(t, h, last, addrB, 2); v != 9 {
+		t.Fatalf("snoop transfer load: got %d, want 9", v)
+	}
+	val, _, specHit, ok = h.TryLocalLoad(last, addrB, 2, false)
+	if !ok || !specHit || val != 9 {
+		t.Fatalf("post-snoop local spec hit: val=%d specHit=%v ok=%v, want 9,true,true", val, specHit, ok)
+	}
+
+	// stampOnly serves only sets whose settle stamp is current: the hit above
+	// stamped the set, a commit invalidates every stamp.
+	if _, _, _, ok := h.TryLocalLoad(last, addrB, 2, true); !ok {
+		t.Fatal("stampOnly refused a freshly stamped set")
+	}
+	h.Commit(1)
+	if _, _, _, ok := h.TryLocalLoad(last, addrB, 2, true); ok {
+		t.Fatal("stampOnly served a set with a stale settle stamp after Commit")
+	}
+	if err := h.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+}

@@ -26,6 +26,8 @@ import "hmtx/internal/vid"
 // line is already in the issuing transaction's access sets, so the serial
 // path's trackLoad would find SpecTouch(...)=already and send no SLA; the
 // engine replicates the read-set insert and speculative-access count itself.
+//
+//hmtx:hotpath
 func (h *Hierarchy) TryLocalLoad(core int, addr Addr, a vid.V, stampOnly bool) (val uint64, res Result, specHit, ok bool) {
 	if h.pendingOverflow {
 		// A pending §5.4 overflow must surface as Result.Conflict on the

@@ -761,6 +761,8 @@ func (h *Hierarchy) VIDReset() Result {
 // Only caches whose snoop-filter presence bit is set are visited: a clear
 // bit proves the cache holds no version of the line, so it could not have
 // responded to the broadcast anyway.
+//
+//hmtx:hotpath
 func (h *Hierarchy) snoop(core int, lineAddr Addr, eff vid.V) (*Line, *cache) {
 	var best *Line
 	var bestCache *cache
@@ -796,7 +798,10 @@ func (h *Hierarchy) snoop(core int, lineAddr Addr, eff vid.V) (*Line, *cache) {
 			}
 			c := h.all[i]
 			if ln := c.findHit(lineAddr, eff, true); ln != nil {
-				consider(ln, c)
+				// consider never leaves snoop, so the closure and its frame
+				// stay on the stack; hotalloc cannot resolve calls through a
+				// function value, hence the waiver.
+				consider(ln, c) //hmtx:allocok non-escaping closure called through a local variable
 			}
 		}
 	}

@@ -12,6 +12,9 @@ import (
 // BenchmarkL1HitLoad reports the same property as allocs/op; this test makes
 // it a hard failure instead of a number someone has to read.
 func TestHotPathZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-runtime shadow allocations break AllocsPerRun; contract pinned in non-race runs")
+	}
 	h := newBenchH(2)
 	h.PokeWord(addrA, 7)
 	h.Load(0, addrA, vid.NonSpec)
@@ -182,6 +185,9 @@ func TestSettleSkipStamp(t *testing.T) {
 // placement — must not allocate. The metricsgate analyzer proves the guards
 // are present; this test proves the guarded fast path stays free.
 func TestDisabledMetricsZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-runtime shadow allocations break AllocsPerRun; contract pinned in non-race runs")
+	}
 	h := newBenchH(2)
 	if h.Conflicts().Enabled() {
 		t.Fatal("bench hierarchy unexpectedly has a recorder")

@@ -1,0 +1,6 @@
+//go:build !race
+
+package metrics
+
+// raceEnabled mirrors the -race build tag for tests; see race_enabled_test.go.
+const raceEnabled = false

@@ -28,6 +28,11 @@ type Analyzer struct {
 	Name string
 	// Doc is a one-paragraph description of what the analyzer reports.
 	Doc string
+	// Version identifies the rule revision in versioned outputs (the
+	// hmtx-lint/v1 JSON schema). Analyzers that never changed report "1";
+	// bump it when a rule's findings change meaning so baseline and report
+	// diffs can tell rule drift from code drift.
+	Version string
 	// Run applies the rule to a single package and reports diagnostics
 	// through pass.Report. The returned value is ignored by the driver
 	// but kept for signature compatibility with go/analysis.

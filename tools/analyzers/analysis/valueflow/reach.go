@@ -1,0 +1,137 @@
+package valueflow
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"hmtx/tools/analyzers/analysis"
+	"hmtx/tools/analyzers/analysis/callgraph"
+)
+
+// Reach is the goroutine-reachability closure of one package: everything
+// that may execute on a go-spawned goroutine.
+type Reach struct {
+	// Funcs maps each reachable function — declared in this package or
+	// imported — to a short description of the goroutine entry it is
+	// reached from. Imported functions have no syntax here; clients check
+	// them through analyzer facts.
+	Funcs map[*types.Func]string
+	// Lits lists the bodies of function literals launched directly by a go
+	// statement (they are not callgraph nodes but their code runs on the
+	// goroutine; nested literals inside reachable functions are covered by
+	// walking the enclosing body).
+	Lits []ReachedLit
+}
+
+// ReachedLit is one go-launched function literal body.
+type ReachedLit struct {
+	Body *ast.BlockStmt
+	Via  string
+}
+
+// GoReachable computes the functions reachable from `go` statements in the
+// package, through three edge kinds:
+//
+//   - static calls (the package call graph, function literals included);
+//   - function values: a declared function or method referenced *as a value*
+//     inside reachable code may be invoked there or handed to another worker,
+//     so it joins the closure — this is what catches effects hidden behind
+//     function pointers and method values;
+//   - nested go statements inside reachable code.
+//
+// Bodies in _test.go files are skipped when includeTests is false: test
+// goroutines are not simulation workers.
+func GoReachable(pass *analysis.Pass, g *callgraph.Graph, includeTests bool) *Reach {
+	r := &Reach{Funcs: map[*types.Func]string{}}
+	var work []*types.Func
+	add := func(fn *types.Func, via string) {
+		if fn == nil {
+			return
+		}
+		if _, seen := r.Funcs[fn]; seen {
+			return
+		}
+		r.Funcs[fn] = via
+		if g.Node(fn) != nil {
+			work = append(work, fn)
+		}
+	}
+
+	isTestFile := func(n ast.Node) bool {
+		return strings.HasSuffix(pass.Fset.Position(n.Pos()).Filename, "_test.go")
+	}
+
+	// scanBody walks one reachable body: static callees, function values,
+	// method values, and nested spawns all join the closure.
+	var scanBody func(body *ast.BlockStmt, via string)
+	scanBody = func(body *ast.BlockStmt, via string) {
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				add(callgraph.StaticCallee(pass.TypesInfo, n), via)
+			case *ast.Ident:
+				// A function referenced outside call position is a value.
+				if fn, ok := pass.TypesInfo.Uses[n].(*types.Func); ok {
+					add(fn, via+" (function value)")
+				}
+			case *ast.SelectorExpr:
+				if sel, ok := pass.TypesInfo.Selections[n]; ok {
+					if fn, ok := sel.Obj().(*types.Func); ok && (sel.Kind() == types.MethodVal || sel.Kind() == types.MethodExpr) {
+						add(fn, via+" (method value)")
+					}
+				}
+			}
+			return true
+		})
+	}
+	// Identifiers in call position also match the *ast.Ident case above,
+	// which is harmless: the target is reachable either way. The CallExpr
+	// case exists for call forms the Ident case misses (selector calls of
+	// imported functions, method calls).
+
+	for _, file := range pass.Files {
+		if !includeTests && isTestFile(file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+				via := "goroutine literal"
+				r.Lits = append(r.Lits, ReachedLit{Body: lit.Body, Via: via})
+				scanBody(lit.Body, via)
+			} else if fn := callgraph.StaticCallee(pass.TypesInfo, gs.Call); fn != nil {
+				add(fn, "goroutine "+fn.Name())
+			}
+			// Function values passed as goroutine arguments may run there.
+			for _, arg := range gs.Call.Args {
+				ast.Inspect(arg, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok {
+						if fn, ok := pass.TypesInfo.Uses[id].(*types.Func); ok {
+							add(fn, "goroutine argument")
+						}
+					}
+					return true
+				})
+			}
+			return true
+		})
+	}
+
+	for len(work) > 0 {
+		fn := work[len(work)-1]
+		work = work[:len(work)-1]
+		node := g.Node(fn)
+		if node == nil || node.Decl == nil || node.Decl.Body == nil {
+			continue
+		}
+		if !includeTests && isTestFile(node.Decl) {
+			continue
+		}
+		scanBody(node.Decl.Body, r.Funcs[fn])
+	}
+	return r
+}

@@ -1,0 +1,137 @@
+// Package vf pins the valueflow escape lattice: which origins escape, which
+// provably do not, which parameters leak, and where panic gating applies.
+package vf
+
+import "fmt"
+
+var global *int
+
+var sink []*int
+
+var keep *counter
+
+type big struct{ a, b, c int64 }
+
+type counter struct{ n int }
+
+func (c *counter) inc() { c.n++ }
+
+// remember stores its receiver: slot 0 (the receiver) leaks.
+func (c *counter) remember() { // want `leaks 0`
+	keep = c
+}
+
+// stash stores its argument in a package-level variable: param 0 leaks.
+func stash(p *int) { // want `leaks 0`
+	global = p
+}
+
+// stash2 leaks transitively through stash.
+func stash2(p *int) { // want `leaks 0`
+	stash(p)
+}
+
+// reads only dereferences its argument: no leak.
+func reads(p *int) int {
+	return *p
+}
+
+func escapeViaLeak() {
+	x := 1
+	stash(&x) // want `local x escapes \(passed to stash\)`
+}
+
+func escapeTransitive() {
+	x := 1
+	stash2(&x) // want `local x escapes \(passed to stash2\)`
+}
+
+func noEscapeViaClean() int {
+	x := 1
+	return reads(&x)
+}
+
+func escapeViaUnknown() {
+	x := 1
+	fmt.Println(&x) // want `local x escapes \(passed to fmt.Println\)`
+}
+
+func escapeViaReturn() *int {
+	x := 2
+	return &x // want `local x escapes \(returned\)`
+}
+
+// paramEscape is the PR 8 install() bug class: taking the parameter's
+// address in a fmt-style panic argument heap-moves the parameter at every
+// call, panic or not. The entry-var escape is reported (and is never
+// panic-gated); the leak of slot 0 follows from &ln being reachable.
+func paramEscape(ln big) { // want `leaks 0`
+	panic(fmt.Sprintf("bad: %v", &ln)) // want `entry ln escapes \(passed to fmt.Sprintf\)`
+}
+
+// gatedCopy is the fixed form: the copy is declared on the panic-bound path,
+// so its heap allocation happens only when the panic fires.
+func gatedCopy(ln big) string {
+	if ln.a > 0 {
+		return "ok"
+	}
+	bad := ln
+	panic(fmt.Sprintf("bad: %v", &bad)) // want `local bad escapes\+gated \(passed to fmt.Sprintf\)`
+}
+
+func litEscapes() *big {
+	return &big{a: 1} // want `expr escapes \(returned\)`
+}
+
+func litLocal() int {
+	p := &big{a: 1}
+	p.b = 2
+	return int(p.b)
+}
+
+func closureEscapes() func() int {
+	n := 0
+	f := func() int { n++; return n }
+	return f // want `expr escapes \(returned\)`
+}
+
+func closureLocal() int {
+	n := 0
+	f := func() int { n++; return n }
+	return f()
+}
+
+// methodValueEscapes returns a bound method value, which closes over the
+// receiver: both the closure and the receiver pointer leak.
+func methodValueEscapes(c *counter) func() { // want `leaks 0`
+	return c.inc // want `expr escapes \(returned\)`
+}
+
+func callClean(c *counter) {
+	c.inc()
+}
+
+func callRemember() {
+	var c counter
+	c.remember() // want `local c escapes \(receiver passed to remember\)`
+}
+
+func sliceEscape() []byte {
+	var buf [8]byte
+	return buf[:] // want `local buf escapes \(returned\)`
+}
+
+func appendEscape() {
+	x := 3
+	sink = append(sink, &x) // want `local x escapes \(appended to a slice\)`
+}
+
+func sendEscape(ch chan *int) {
+	x := 4
+	ch <- &x // want `local x escapes \(sent on a channel\)`
+}
+
+func goEscape() {
+	x := 5
+	go fmt.Println(&x) // want `local x escapes \(passed to a goroutine\)`
+}

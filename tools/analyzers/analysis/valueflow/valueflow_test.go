@@ -1,0 +1,72 @@
+package valueflow_test
+
+import (
+	"go/types"
+	"testing"
+
+	"hmtx/tools/analyzers/analysis"
+	"hmtx/tools/analyzers/analysis/analysistest"
+	"hmtx/tools/analyzers/analysis/callgraph"
+	"hmtx/tools/analyzers/analysis/valueflow"
+)
+
+// The test analyzer reports every escape valueflow finds, in the fixture's
+// own vocabulary, so the want comments in testdata/src/vf pin the lattice:
+//
+//	entry <name> escapes (<reason>)    an entry variable (param/receiver)
+//	local <name> escapes (<reason>)    a plain local; "+gated" when the sink
+//	                                   and declaration are panic-gated
+//	expr escapes (<reason>)            a composite literal / closure / method value
+//	leaks <i>                          ParamLeaks[i] is set
+var testAnalyzer = &analysis.Analyzer{
+	Name: "vftest",
+	Doc:  "reports valueflow escapes for fixture verification",
+	Run: func(pass *analysis.Pass) (any, error) {
+		g := callgraph.Build(pass)
+		sums := map[*types.Func]*valueflow.Result{}
+		leakOf := func(fn *types.Func) []bool {
+			if s, ok := sums[fn]; ok {
+				return s.ParamLeaks
+			}
+			return nil
+		}
+		// Bottom-up with one re-iteration handles the fixture's call chains.
+		order := g.PostOrder()
+		for i := 0; i < 2; i++ {
+			for _, n := range order {
+				sums[n.Fn] = valueflow.Analyze(pass, n.Decl, leakOf)
+			}
+		}
+		for _, n := range g.Nodes {
+			res := sums[n.Fn]
+			entry := map[*types.Var]bool{}
+			for _, v := range res.EntryVars {
+				entry[v] = true
+			}
+			for v, esc := range res.EscapedVars {
+				kind := "local"
+				if entry[v] {
+					kind = "entry"
+				}
+				gated := ""
+				if kind == "local" && res.PanicGated(esc.Pos) && res.PanicGated(v.Pos()) {
+					gated = "+gated"
+				}
+				pass.Reportf(esc.Pos, "%s %s escapes%s (%s)", kind, v.Name(), gated, esc.Reason)
+			}
+			for _, esc := range res.EscapedExprs {
+				pass.Reportf(esc.Pos, "expr escapes (%s)", esc.Reason)
+			}
+			for i, leak := range res.ParamLeaks {
+				if leak {
+					pass.Reportf(n.Decl.Pos(), "leaks %d", i)
+				}
+			}
+		}
+		return nil, nil
+	},
+}
+
+func TestValueFlow(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), testAnalyzer, "vf")
+}

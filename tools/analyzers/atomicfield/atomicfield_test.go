@@ -1,0 +1,14 @@
+package atomicfield_test
+
+import (
+	"testing"
+
+	"hmtx/tools/analyzers/analysis/analysistest"
+	"hmtx/tools/analyzers/atomicfield"
+)
+
+func TestAtomicfield(t *testing.T) {
+	// auuser carries the want comments; aulib only contributes the
+	// atomic-field fact for Gauge.N.
+	analysistest.Run(t, analysistest.TestData(), atomicfield.Analyzer, "auuser")
+}

@@ -1,0 +1,12 @@
+// Package aulib is a fixture dependency: Gauge.N becomes an atomic field
+// here, and the fact must reach importing packages.
+package aulib
+
+import "sync/atomic"
+
+type Gauge struct {
+	N     int64
+	Label string
+}
+
+func Bump(g *Gauge) { atomic.AddInt64(&g.N, 1) }

@@ -1,0 +1,76 @@
+// Package auuser exercises both atomicfield rules: mixed plain/atomic field
+// access and sync/atomic value copies, on and off the goroutine closure.
+package auuser
+
+import (
+	"sync/atomic"
+
+	"aulib"
+)
+
+type counter struct {
+	n    int64
+	name string
+}
+
+func (c *counter) bump() { atomic.AddInt64(&c.n, 1) }
+
+// plainTouch is reached only through a method value inside the goroutine
+// literal below — exactly the hidden dispatch the closure must see through.
+func (c *counter) plainTouch() {
+	c.n = 1 // want `plain access to atomic field n`
+}
+
+func serve(c *counter) {
+	go func() {
+		c.n++ // want `plain access to atomic field n`
+		c.name = "worker"
+		atomic.StoreInt64(&c.n, 0)
+		c.bump()
+		f := c.plainTouch
+		f()
+	}()
+	// Coordinator side: pre-spawn/post-join plain access is the intended
+	// window and stays silent.
+	c.n = 0
+}
+
+func viaFuncValue(c *counter) {
+	go run(plainSet, c)
+}
+
+func run(f func(*counter), c *counter) { f(c) }
+
+func plainSet(c *counter) {
+	c.n = 2 // want `plain access to atomic field n`
+}
+
+func crossPkg(g *aulib.Gauge) {
+	go func() {
+		g.N = 5 // want `plain access to atomic field N`
+		g.Label = "w"
+	}()
+}
+
+type state struct {
+	bounds []atomic.Int64
+	gen    atomic.Uint64
+}
+
+func launch(s *state) {
+	go s.worker()
+}
+
+func (s *state) worker() {
+	s.bounds[0].Add(1)
+	v := s.bounds[1] // want `copies sync/atomic value atomic.Int64`
+	_ = v.Load()
+	g := s.gen // want `copies sync/atomic value atomic.Uint64`
+	_ = g.Load()
+	p := &s.bounds[2]
+	p.Store(9)
+	for _, b := range s.bounds { // want `copies sync/atomic value atomic.Int64`
+		_ = b.Load()
+	}
+	_ = s.gen.Load()
+}

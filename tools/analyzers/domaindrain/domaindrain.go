@@ -10,16 +10,25 @@
 // interleave in host-scheduler order and silently break the byte-identical
 // determinism contract.
 //
-// The analyzer finds every function reachable from a `go` statement in the
-// scoped packages (the goroutine entry itself, function literals launched
-// directly, and every statically resolvable same-package callee) and reports:
+// Since v2 the reachability is the valueflow goroutine closure (DESIGN.md
+// §17) over the package call graph: a go statement's entry, function
+// literals launched directly, every statically resolvable callee, and —
+// the part a syntactic walk misses — functions and methods referenced *as
+// values* inside reachable code or passed as goroutine arguments, so a
+// worker dispatched through a function pointer or method value is checked
+// like any other. Inside reachable code the analyzer reports:
 //
 //   - calls into hmtx/internal/prof, hmtx/internal/metrics or
 //     hmtx/internal/obs, except the Enabled guard query — charging,
 //     observing or emitting from a worker is exactly the nondeterministic
 //     ordering the drain exists to prevent;
 //   - writes to fields of the engine or memsys Stats structs — the
-//     architectural counters are simulation-visible output too.
+//     architectural counters are simulation-visible output too;
+//   - calls to functions in *other* packages whose exported emit fact says
+//     they (transitively) perform one of the above: the analyzer computes a
+//     bottom-up emit summary for every package it runs on and exports it as
+//     object facts, so laundering a charge through an out-of-package helper
+//     is caught at the call site.
 //
 // Buffering records, publishing atomic bounds, and channel handoffs are all
 // fine: the rule is only that effects on simulation-visible state happen on
@@ -30,17 +39,21 @@ package domaindrain
 import (
 	"fmt"
 	"go/ast"
+	"go/token"
 	"go/types"
+	"sort"
 	"strings"
 
 	"hmtx/tools/analyzers/analysis"
 	"hmtx/tools/analyzers/analysis/callgraph"
+	"hmtx/tools/analyzers/analysis/valueflow"
 )
 
 var Analyzer = &analysis.Analyzer{
-	Name: "domaindrain",
-	Doc:  "requires goroutine state in engine/memsys to reach simulation-visible output via the canonical barrier drain",
-	Run:  run,
+	Name:    "domaindrain",
+	Doc:     "requires goroutine state in engine/memsys to reach simulation-visible output via the canonical barrier drain",
+	Version: "2",
+	Run:     run,
 }
 
 // sinkPkgs are the package-path suffixes whose calls count as
@@ -58,109 +71,187 @@ var statsPkgs = []string{
 	"internal/memsys",
 }
 
+// emitFact lists the simulation-visible effects a function (transitively)
+// performs, so call sites in other packages can be judged.
+type emitFact struct {
+	Sinks []string
+}
+
+func (*emitFact) AFact() {}
+
 func run(pass *analysis.Pass) (any, error) {
+	cg := callgraph.Build(pass)
+	isTest := func(n ast.Node) bool {
+		return strings.HasSuffix(pass.Fset.Position(n.Pos()).Filename, "_test.go")
+	}
+
+	// Phase 1, every package: bottom-up transitive emit summaries, exported
+	// as facts. This runs outside the scoped packages too — that is the
+	// point: an engine worker calling a helper from some other package needs
+	// the helper's summary.
+	sums := map[*types.Func][]string{}
+	emitsOf := func(fn *types.Func) []string {
+		if s, ok := sums[fn]; ok {
+			return s
+		}
+		var f emitFact
+		if pass.ImportObjectFact(fn, &f) {
+			return f.Sinks
+		}
+		return nil
+	}
+	order := cg.PostOrder()
+	for iter := 0; iter < 16; iter++ {
+		changed := false
+		for _, n := range order {
+			if n.Decl.Body == nil || isTest(n.Decl) {
+				continue
+			}
+			set := map[string]bool{}
+			ast.Inspect(n.Decl.Body, func(m ast.Node) bool {
+				switch m := m.(type) {
+				case *ast.CallExpr:
+					if name, ok := sinkCall(pass, m); ok {
+						set[name] = true
+					}
+				case *ast.AssignStmt:
+					for _, lhs := range m.Lhs {
+						if name, ok := statsWrite(pass, lhs); ok {
+							set[name] = true
+						}
+					}
+				case *ast.IncDecStmt:
+					if name, ok := statsWrite(pass, m.X); ok {
+						set[name] = true
+					}
+				}
+				return true
+			})
+			for _, callee := range n.Callees {
+				for _, s := range emitsOf(callee) {
+					set[s] = true
+				}
+			}
+			cur := make([]string, 0, len(set))
+			for s := range set {
+				cur = append(cur, s)
+			}
+			sort.Strings(cur)
+			if !equalStrings(sums[n.Fn], cur) {
+				sums[n.Fn] = cur
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	for fn, sinks := range sums {
+		if len(sinks) > 0 {
+			pass.ExportObjectFact(fn, &emitFact{Sinks: sinks})
+		}
+	}
+
+	// Phase 2: reporting, scoped to the simulation layer.
 	pkg := strings.TrimSuffix(pass.PkgPath, "_test")
 	if !strings.HasSuffix(pkg, "internal/engine") && !strings.HasSuffix(pkg, "internal/memsys") {
 		return nil, nil
 	}
-	graph := callgraph.Build(pass)
 
-	// Roots: functions entered by a `go` statement, and the bodies of
-	// function literals launched directly. Literal bodies are scanned in
-	// place; their statically resolvable callees join the worklist like any
-	// declared root.
-	reached := map[*types.Func]string{} // reachable function -> goroutine entry description
-	var work []*types.Func
-	add := func(fn *types.Func, via string) {
-		if fn == nil || reached[fn] != "" {
+	reach := valueflow.GoReachable(pass, cg, false)
+	// A go-launched literal body nests inside some declaration; if that
+	// declaration is itself reachable its nodes are visited twice.
+	seen := map[token.Pos]bool{}
+	report := func(pos token.Pos, format string, args ...any) {
+		if !seen[pos] {
+			seen[pos] = true
+			pass.Reportf(pos, format, args...)
+		}
+	}
+	checkCall := func(call *ast.CallExpr, via string) {
+		if name, ok := sinkCall(pass, call); ok {
+			report(call.Pos(), "%s called on a domain goroutine (via %s); buffer the effect and apply it in the canonical barrier drain", name, via)
 			return
 		}
-		if graph.Node(fn) == nil {
-			return // out-of-package callee: only sink calls matter, checked at the call site
+		callee := callgraph.StaticCallee(pass.TypesInfo, call)
+		if callee == nil || callee.Pkg() == pass.Pkg {
+			return // in-package callees are checked in their own bodies
 		}
-		reached[fn] = via
-		work = append(work, fn)
+		if sinks := emitsOf(callee); len(sinks) > 0 {
+			report(call.Pos(), "%s emits %s when called on a domain goroutine (via %s); buffer the effect and apply it in the canonical barrier drain",
+				funcName(pass, callee), strings.Join(sinks, ", "), via)
+		}
 	}
-	for _, file := range pass.Files {
-		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
-			continue
-		}
-		ast.Inspect(file, func(n ast.Node) bool {
-			gs, ok := n.(*ast.GoStmt)
-			if !ok {
-				return true
-			}
-			if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
-				via := "goroutine literal"
-				checkBody(pass, lit.Body, via)
-				for _, callee := range bodyCallees(pass, lit.Body) {
-					add(callee, via)
+	checkBody := func(body *ast.BlockStmt, via string) {
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(n, via)
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					if name, ok := statsWrite(pass, lhs); ok {
+						report(lhs.Pos(), "%s written on a domain goroutine (via %s); buffer the effect and apply it in the canonical barrier drain", name, via)
+					}
 				}
-				return true
-			}
-			if fn := callgraph.StaticCallee(pass.TypesInfo, gs.Call); fn != nil {
-				add(fn, "goroutine "+fn.Name())
+			case *ast.IncDecStmt:
+				if name, ok := statsWrite(pass, n.X); ok {
+					report(n.X.Pos(), "%s written on a domain goroutine (via %s); buffer the effect and apply it in the canonical barrier drain", name, via)
+				}
 			}
 			return true
 		})
 	}
 
-	for len(work) > 0 {
-		fn := work[len(work)-1]
-		work = work[:len(work)-1]
-		node := graph.Node(fn)
-		if node == nil || node.Decl == nil || node.Decl.Body == nil {
+	for fn, via := range reach.Funcs {
+		n := cg.Node(fn)
+		if n == nil || n.Decl == nil || n.Decl.Body == nil || isTest(n.Decl) {
 			continue
 		}
-		via := reached[fn]
-		if strings.HasSuffix(pass.Fset.Position(node.Decl.Pos()).Filename, "_test.go") {
+		checkBody(n.Decl.Body, via)
+	}
+	for _, lit := range reach.Lits {
+		checkBody(lit.Body, lit.Via)
+	}
+	// The go statement's own call: `go prof.Charge(...)` or `go helper()`
+	// with an imported, emitting helper never appears inside a reachable
+	// body, so it is checked at the root.
+	for _, file := range pass.Files {
+		if isTest(file) {
 			continue
 		}
-		checkBody(pass, node.Decl.Body, via)
-		for _, callee := range node.Callees {
-			add(callee, via)
-		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			if gs, ok := n.(*ast.GoStmt); ok {
+				if _, isLit := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); !isLit {
+					checkCall(gs.Call, "goroutine entry")
+				}
+			}
+			return true
+		})
 	}
 	return nil, nil
 }
 
-// bodyCallees lists the statically resolvable call targets lexically inside
-// body.
-func bodyCallees(pass *analysis.Pass, body *ast.BlockStmt) []*types.Func {
-	var out []*types.Func
-	ast.Inspect(body, func(n ast.Node) bool {
-		if call, ok := n.(*ast.CallExpr); ok {
-			if fn := callgraph.StaticCallee(pass.TypesInfo, call); fn != nil {
-				out = append(out, fn)
-			}
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
 		}
-		return true
-	})
-	return out
+	}
+	return true
 }
 
-// checkBody reports every simulation-visible output effect inside body,
-// which executes on a domain goroutine reached via the given entry.
-func checkBody(pass *analysis.Pass, body *ast.BlockStmt, via string) {
-	ast.Inspect(body, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.CallExpr:
-			if name, ok := sinkCall(pass, n); ok {
-				pass.Reportf(n.Pos(), "%s called on a domain goroutine (via %s); buffer the effect and apply it in the canonical barrier drain", name, via)
-			}
-		case *ast.AssignStmt:
-			for _, lhs := range n.Lhs {
-				if name, ok := statsWrite(pass, lhs); ok {
-					pass.Reportf(lhs.Pos(), "%s written on a domain goroutine (via %s); buffer the effect and apply it in the canonical barrier drain", name, via)
-				}
-			}
-		case *ast.IncDecStmt:
-			if name, ok := statsWrite(pass, n.X); ok {
-				pass.Reportf(n.X.Pos(), "%s written on a domain goroutine (via %s); buffer the effect and apply it in the canonical barrier drain", name, via)
-			}
-		}
-		return true
-	})
+func funcName(pass *analysis.Pass, fn *types.Func) string {
+	name := fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return types.TypeString(sig.Recv().Type(), types.RelativeTo(pass.Pkg)) + "." + name
+	}
+	if fn.Pkg() != nil && fn.Pkg() != pass.Pkg {
+		return fn.Pkg().Name() + "." + name
+	}
+	return name
 }
 
 // sinkCall reports whether call invokes a simulation-visible output API:

@@ -10,6 +10,8 @@ import (
 
 	"hmtx/internal/metrics"
 	"hmtx/internal/prof"
+
+	"simhelp"
 )
 
 type Stats struct {
@@ -101,4 +103,38 @@ func (s *sys) launch() {
 // not add diagnostics of their own.
 func (s *sys) coordinatorOnly() {
 	s.drain()
+}
+
+// tickHelper is reached only through the method value passed as a goroutine
+// argument in hiddenDispatch: v1's syntactic walk missed this entirely.
+func (s *sys) tickHelper() {
+	s.series.Tick(9) // want `metrics.Tick called on a domain goroutine`
+}
+
+func (s *sys) hiddenDispatch() {
+	go runFn(s.tickHelper)
+}
+
+func runFn(f func()) { f() }
+
+// tickFree is reached through a plain function value bound inside a
+// goroutine literal.
+func tickFree(s *sys) {
+	s.series.Tick(11) // want `metrics.Tick called on a domain goroutine`
+}
+
+func (s *sys) valueInBody() {
+	go func() {
+		g := tickFree
+		g(s)
+	}()
+}
+
+// crossPackage launders the charge through an out-of-package helper; the
+// helper's emit fact surfaces it at the call site.
+func (s *sys) crossPackage(k int64) {
+	go func() {
+		_ = simhelp.Pure(k)
+		simhelp.Emit(s.prof) // want `simhelp.Emit emits prof.Charge when called on a domain goroutine`
+	}()
 }

@@ -1,0 +1,19 @@
+// Package simhelp is outside the engine/memsys scope but emits
+// simulation-visible output: its exported emit facts must make calls from
+// scoped goroutines reportable at the call site.
+package simhelp
+
+import "hmtx/internal/prof"
+
+// Emit transitively reaches prof.Charge through a local helper, so the
+// exported fact is itself the product of the bottom-up summary.
+func Emit(p *prof.Collector) {
+	charge(p)
+}
+
+func charge(p *prof.Collector) {
+	p.Charge(0, 1, prof.Compute, 3)
+}
+
+// Pure does not emit; calls to it from workers must stay silent.
+func Pure(x int64) int64 { return x * 2 }

@@ -1,0 +1,13 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"hmtx/tools/analyzers/analysis/analysistest"
+	"hmtx/tools/analyzers/hotalloc"
+)
+
+func TestHotalloc(t *testing.T) {
+	// hotuser carries the want comments; hotlib only feeds it facts.
+	analysistest.Run(t, analysistest.TestData(), hotalloc.Analyzer, "hotuser")
+}

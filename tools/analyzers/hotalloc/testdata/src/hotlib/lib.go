@@ -1,0 +1,15 @@
+// Package hotlib is a fixture dependency for the hotalloc tests: its
+// cleanliness facts must cross the package boundary into hotuser.
+package hotlib
+
+var sink *int
+
+// Clean is allocation-free.
+func Clean(x int) int { return x + 1 }
+
+// Alloc allocates.
+func Alloc(n int) []int { return make([]int, n) }
+
+// Keep is allocation-free itself but leaks its argument, so a caller
+// passing &local heap-allocates the local on its own side.
+func Keep(p *int) { sink = p }

@@ -1,0 +1,195 @@
+// Package hotuser exercises every hotalloc rule. Only functions marked
+// //hmtx:hotpath are reported; unmarked helpers contribute cleanliness facts.
+package hotuser
+
+import (
+	"fmt"
+	"math/bits"
+
+	"hotlib"
+)
+
+type line struct {
+	tag  uint64
+	data [8]byte
+}
+
+var (
+	global *line
+	cb     func() uint64
+	table  = map[uint64]uint64{}
+)
+
+//hmtx:hotpath
+func makeAlloc(n int) []int {
+	return make([]int, n) // want `make allocates`
+}
+
+//hmtx:hotpath
+func newAlloc() *line {
+	return new(line) // want `new allocates`
+}
+
+//hmtx:hotpath
+func appendAlloc(s []int, v int) []int {
+	return append(s, v) // want `append may grow its backing array`
+}
+
+//hmtx:hotpath
+func mapLit() map[uint64]uint64 {
+	return map[uint64]uint64{1: 1} // want `map literal allocates`
+}
+
+//hmtx:hotpath
+func concat(a, b string) string {
+	return a + b // want `string concatenation allocates`
+}
+
+//hmtx:hotpath
+func byteConv(s string) []byte {
+	return []byte(s) // want `conversion between string and byte/rune slice allocates`
+}
+
+//hmtx:hotpath
+func boxes(v uint64) {
+	fmt.Println(v) // want `boxing uint64 into any allocates` `calls fmt.Println, which is not allocation-free`
+}
+
+// installBad mirrors the PR 8 memsys install() bug: taking &ln in the panic
+// argument heap-moves the parameter on every call, panic or not.
+//
+//hmtx:hotpath
+func installBad(ln line) uint64 {
+	if ln.tag == 0 {
+		panic(fmt.Sprintf("zero tag %v", &ln)) // want `parameter ln escapes to the heap`
+	}
+	return ln.tag
+}
+
+// installGood is the fixed form: the copy lives only on the panic-bound
+// path, so the fast path stays allocation-free.
+//
+//hmtx:hotpath
+func installGood(ln line) uint64 {
+	if ln.tag == 0 {
+		bad := ln
+		panic(fmt.Sprintf("zero tag %v", &bad))
+	}
+	return ln.tag
+}
+
+//hmtx:hotpath
+func escapingLit(tag uint64) {
+	global = &line{tag: tag} // want `escaping composite literal allocates \(stored in a package-level variable\)`
+}
+
+// stackLit's literal never escapes: stack-allocated, allowed.
+//
+//hmtx:hotpath
+func stackLit(tag uint64) uint64 {
+	l := line{tag: tag}
+	return l.tag
+}
+
+//hmtx:hotpath
+func localPtrLit(tag uint64) uint64 {
+	l := &line{tag: tag}
+	l.tag++
+	return l.tag
+}
+
+//hmtx:hotpath
+func escapingClosure(v uint64) {
+	cb = func() uint64 { return v } // want `escaping closure allocates \(stored in a package-level variable\)`
+}
+
+//hmtx:hotpath
+func spawns(f func()) {
+	go f() // want `go statement allocates a goroutine` `dynamic call cannot be proven allocation-free`
+}
+
+// Map reads and writes are amortized-free in steady state and deliberately
+// allowed; TestHotPathZeroAllocs pins the dynamic behaviour.
+//
+//hmtx:hotpath
+func mapOps(k uint64) uint64 {
+	table[k] = k
+	return table[k]
+}
+
+func helperClean(x uint64) uint64 { return x * 3 }
+
+func helperAlloc(n int) []int { return make([]int, n) }
+
+//hmtx:hotpath
+func callsClean(x uint64) uint64 {
+	return helperClean(x)
+}
+
+//hmtx:hotpath
+func callsAlloc(n int) int {
+	s := helperAlloc(n) // want `calls helperAlloc, which is not allocation-free \(make allocates\)`
+	return len(s)
+}
+
+//hmtx:hotpath
+func callsImportedClean(x int) int {
+	return hotlib.Clean(x)
+}
+
+//hmtx:hotpath
+func callsImportedAlloc(n int) int {
+	return len(hotlib.Alloc(n)) // want `calls hotlib.Alloc, which is not allocation-free \(make allocates\)`
+}
+
+// hotlib.Keep is allocation-free but leaks its parameter: the allocation is
+// the caller's local moving to the heap, reported here.
+//
+//hmtx:hotpath
+func leakThroughImport() {
+	x := 7
+	hotlib.Keep(&x) // want `local x escapes to the heap \(passed to hotlib.Keep\)`
+}
+
+//hmtx:hotpath
+func waived(n int) []int {
+	return make([]int, n) //hmtx:allocok cold resize path, measured separately
+}
+
+//hmtx:hotpath
+func waivedNoReason(n int) []int {
+	return make([]int, n) /*hmtx:allocok*/ // want `//hmtx:allocok annotation needs a reason`
+}
+
+func notHotStale(x int) int {
+	return x + 1 /*hmtx:allocok nothing allocates here*/ // want `stale //hmtx:allocok annotation`
+}
+
+// bitsClean exercises the known-clean stdlib allowlist: math/bits functions
+// are compiler intrinsics and carry no facts, but never allocate.
+//
+//hmtx:hotpath
+func bitsClean(x uint64) int {
+	return bits.TrailingZeros64(x)
+}
+
+// snoopLike mirrors the memsys snoop shape: a non-escaping closure whose
+// panic-bound Sprintf is gated by the literal's own CFG, called through a
+// local variable under a waiver.
+//
+//hmtx:hotpath
+func snoopLike(xs []uint64, bad uint64) uint64 {
+	var best uint64
+	consider := func(v uint64) {
+		if v == bad {
+			panic(fmt.Sprintf("bad value %d", v))
+		}
+		if v > best {
+			best = v
+		}
+	}
+	for _, v := range xs {
+		consider(v) //hmtx:allocok non-escaping closure called through a local variable
+	}
+	return best
+}
