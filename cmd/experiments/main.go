@@ -8,6 +8,8 @@
 //	            [-ablations] [-json BENCH_run.json] [-prof PROF_run.json]
 //	            [-series SERIES_run.json] [-series-window N]
 //	            [-conflicts CONFLICTS_run.json] [-hist HIST_run.json]
+//	            [-ckpt-every N] [-ckpt-out ckpt.json] [-ckpt-halt]
+//	            [-resume ckpt.json]
 //	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // With no -only list it runs everything: Figure 1, Figure 2, Table 1,
@@ -25,6 +27,13 @@
 // whole simulations concurrently, while -domains shards the cores of each
 // simulation across goroutines inside conservative time quanta
 // (DESIGN.md §16).
+//
+// Checkpointing (DESIGN.md §18): with -parallel 1, -ckpt-every N writes an
+// hmtx-ckpt/v1 suite checkpoint to -ckpt-out after every N completed
+// (benchmark, mode) units; -ckpt-halt stops the suite at the first
+// checkpoint, and -resume continues it, re-running only the remaining units.
+// Because every unit owns its own simulated machine, a resumed suite's
+// documents are byte-identical to an uninterrupted run's.
 package main
 
 import (
@@ -37,8 +46,10 @@ import (
 	"runtime/pprof"
 	"strings"
 
+	"hmtx/internal/ckpt"
 	"hmtx/internal/experiments"
 	"hmtx/internal/prof"
+	"hmtx/internal/workloads"
 )
 
 func main() {
@@ -57,6 +68,10 @@ func main() {
 	seriesWindow := flag.Int64("series-window", 0, "time-series sampling window in simulated cycles (0 = default)")
 	conflictsOut := flag.String("conflicts", "", "record abort edges and write the hmtx-conflicts/v1 document to this file")
 	histOut := flag.String("hist", "", "collect latency histograms and write the hmtx-hist/v1 document to this file")
+	ckptEvery := flag.Int("ckpt-every", 0, "checkpoint after every N completed (benchmark, mode) units (0 = off; requires -parallel 1)")
+	ckptOut := flag.String("ckpt-out", "", "write an hmtx-ckpt/v1 suite checkpoint to this file at each checkpoint")
+	ckptHalt := flag.Bool("ckpt-halt", false, "halt the suite at the first checkpoint (after writing -ckpt-out)")
+	resume := flag.String("resume", "", "resume a halted suite from an hmtx-ckpt/v1 checkpoint file")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
@@ -116,7 +131,65 @@ func main() {
 		if *quiet {
 			progress = nil
 		}
-		results := experiments.RunAll(cfg, progress)
+		var results []experiments.BenchResult
+		ckptOn := *ckptEvery > 0 || *ckptOut != "" || *ckptHalt || *resume != ""
+		if ckptOn {
+			// Suite checkpoints cut at (benchmark, mode) unit boundaries,
+			// which requires the serial unit order.
+			if cfg.Parallelism != 1 {
+				log.Fatal("checkpointing requires -parallel 1")
+			}
+			if (*ckptOut != "" || *ckptHalt) && *ckptEvery <= 0 {
+				log.Fatal("-ckpt-out and -ckpt-halt need -ckpt-every")
+			}
+			opts := experiments.CkptOptions{Every: *ckptEvery}
+			if *resume != "" {
+				doc, err := ckpt.ReadFile(*resume)
+				if err != nil {
+					log.Fatal(err)
+				}
+				if doc.Kind != ckpt.KindExperiments {
+					log.Fatalf("%s is a %q checkpoint; experiments resumes %q checkpoints (hmtxsim -resume handles runs, hmtxdbg opens counterexamples)",
+						*resume, doc.Kind, ckpt.KindExperiments)
+				}
+				if doc.Experiments.Config != cfg {
+					log.Fatalf("checkpoint was taken under -scale %d -cores %d -domains %d and the matching instrument flags; rerun with the same configuration",
+						doc.Experiments.Config.Scale, doc.Experiments.Config.Cores, doc.Experiments.Config.Domains)
+				}
+				st := doc.Experiments.State
+				opts.Resume = &st
+			}
+			var unitsDone int
+			if *ckptOut != "" || *ckptHalt {
+				opts.Checkpoint = func(st experiments.CkptState) bool {
+					if *ckptOut != "" {
+						doc := &ckpt.Doc{Schema: ckpt.Schema, Kind: ckpt.KindExperiments,
+							Experiments: &ckpt.ExperimentsState{Config: cfg, State: st}}
+						if err := ckpt.WriteFile(*ckptOut, doc); err != nil {
+							log.Fatal(err)
+						}
+					}
+					unitsDone = len(st.Done)
+					return *ckptHalt
+				}
+			}
+			var halted bool
+			var err error
+			results, halted, err = experiments.RunSpecsCkpt(cfg, workloads.All(), progress, opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if halted {
+				where := ""
+				if *ckptOut != "" {
+					where = " -> " + *ckptOut
+				}
+				fmt.Printf("checkpoint: suite halted after %d units%s (continue with -resume)\n", unitsDone, where)
+				return
+			}
+		} else {
+			results = experiments.RunAll(cfg, progress)
+		}
 		if *jsonOut != "" {
 			f, err := os.Create(*jsonOut)
 			if err != nil {

@@ -10,7 +10,7 @@
 //	hmtxcheck [-cores N] [-addrs N] [-vids N] [-store-vals N]
 //	          [-wrongpath] [-evict] [-l1ways N] [-l2ways N]
 //	          [-max-states N] [-max-depth N] [-inject BUG]
-//	          [-json FILE] [-q]
+//	          [-json FILE] [-emit-ckpt FILE] [-q]
 //
 // Exit status: 0 for a clean run, 1 for a property violation, 2 for usage
 // errors. Output is deterministic: the same bounds always produce the same
@@ -18,12 +18,14 @@
 package main
 
 import (
+	"encoding/hex"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	"hmtx/internal/check"
+	"hmtx/internal/ckpt"
 )
 
 func main() {
@@ -46,6 +48,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.IntVar(&cfg.MaxDepth, "max-depth", 0, "BFS depth cap (0 = unbounded)")
 	fs.StringVar(&cfg.InjectBug, "inject", "", "re-introduce a fixed protocol bug (memsys.Bug* name) to validate the checker")
 	jsonOut := fs.String("json", "", "also write the summary as JSON to this file")
+	ckptOut := fs.String("emit-ckpt", "", "on a violation, write the counterexample as an hmtx-ckpt/v1 checkpoint (openable with hmtxdbg) to this file")
 	quiet := fs.Bool("q", false, "suppress the text report (exit status still reflects the verdict)")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -72,6 +75,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		js = append(js, '\n')
 		if werr := os.WriteFile(*jsonOut, js, 0o644); werr != nil {
+			fmt.Fprintf(stderr, "hmtxcheck: %v\n", werr)
+			return 2
+		}
+	}
+	if *ckptOut != "" && sum.Violation != nil {
+		// Replay the counterexample to its final (violating) state and emit
+		// it as a "check" checkpoint; hmtxdbg re-materialises any prefix.
+		ce := sum.Violation
+		h, _, _ := cfg.ReplayTo(ce.Steps, len(ce.Steps))
+		doc := &ckpt.Doc{Schema: ckpt.Schema, Kind: ckpt.KindCheck, Check: &ckpt.CheckState{
+			Config:         cfg,
+			Counterexample: ce,
+			FinalState:     hex.EncodeToString(h.AppendExact(nil)),
+		}}
+		if werr := ckpt.WriteFile(*ckptOut, doc); werr != nil {
 			fmt.Fprintf(stderr, "hmtxcheck: %v\n", werr)
 			return 2
 		}

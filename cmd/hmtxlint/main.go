@@ -23,7 +23,9 @@
 // (metricsgate), no simulation-visible output effects on domain-worker
 // goroutines outside the canonical barrier drain (domaindrain, v2: callgraph
 // + value-flow reachability, so workers dispatched through function pointers
-// or method values are covered), statically allocation-free //hmtx:hotpath
+// or method values are covered), no checkpoint capture/restore on those
+// goroutines either — internal/ckpt calls and the snapshot primitives are
+// coordinator-only, boundary-only (ckptgate) — statically allocation-free //hmtx:hotpath
 // functions (hotalloc), atomically-consistent access to sync/atomic-managed
 // struct fields from goroutine-reachable code (atomicfield) — plus the
 // transactional-API rules: every engine.Env
@@ -50,6 +52,7 @@ import (
 	"hmtx/internal/lintdoc"
 	"hmtx/tools/analyzers/analysis"
 	"hmtx/tools/analyzers/atomicfield"
+	"hmtx/tools/analyzers/ckptgate"
 	"hmtx/tools/analyzers/detflow"
 	"hmtx/tools/analyzers/detrange"
 	"hmtx/tools/analyzers/domaindrain"
@@ -66,6 +69,7 @@ import (
 
 var analyzers = []*analysis.Analyzer{
 	atomicfield.Analyzer,
+	ckptgate.Analyzer,
 	detflow.Analyzer,
 	detrange.Analyzer,
 	domaindrain.Analyzer,

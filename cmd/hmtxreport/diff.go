@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 
+	"hmtx/internal/ckpt"
 	"hmtx/internal/lintdoc"
 	"hmtx/internal/metrics"
 	"hmtx/internal/stats"
@@ -77,6 +78,12 @@ func runDiff(args []string, stdout, stderr io.Writer) int {
 			return fail("%v", err)
 		}
 		diffLint(stdout, &a, &b)
+	case ckpt.Schema:
+		// Checkpoints are simulation state, not metrics: two checkpoints of
+		// the same configuration differ in machine state, which hmtxdbg can
+		// diff cycle against cycle (EXPERIMENTS.md "Debugging an abort
+		// storm"). Point there instead of pretending a metric diff applies.
+		return fail("%s is an %s checkpoint, not a metric document; open it with hmtxdbg (its diff command compares machine state across cycles)", pa, ckpt.Schema)
 	default:
 		return fail("unsupported schema %q (want series, conflicts, hist, or lint)", sa.Schema)
 	}

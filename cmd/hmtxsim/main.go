@@ -13,6 +13,8 @@
 //	        [-series series.json] [-series-window 2048]
 //	        [-conflicts conflicts.json] [-conflicts-dot conflicts.dot]
 //	        [-cascade-window 512] [-hist hist.json]
+//	        [-ckpt-every N] [-ckpt-out ckpt.json] [-ckpt-halt]
+//	        [-resume ckpt.json]
 //	        [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Observability (DESIGN.md §10): -trace streams a gem5-style text log of the
@@ -37,6 +39,16 @@
 // transaction latency histograms into an "hmtx-hist/v1" document. All three
 // feed cmd/hmtxreport.
 //
+// Checkpointing (DESIGN.md §18): -ckpt-every N segments the run into
+// N-iteration engine runs; -ckpt-out writes an hmtx-ckpt/v1 document with the
+// full simulation state at each segment boundary, and -ckpt-halt stops the
+// run at the first boundary. -resume continues a halted run from its
+// checkpoint: the benchmark, machine configuration, paradigm, instruments and
+// segment length all come from the document, and the resumed run's outputs
+// (stdout and all five JSON documents) are byte-identical to the same
+// segmented run left uninterrupted. Checkpoint files are also the input to
+// cmd/hmtxdbg, the time-travel debugger.
+//
 // hmtxsim -list prints the available benchmarks.
 package main
 
@@ -49,6 +61,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 
+	"hmtx/internal/ckpt"
 	"hmtx/internal/engine"
 	"hmtx/internal/hmtx"
 	"hmtx/internal/metrics"
@@ -117,6 +130,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	conflictsDOT := fs.String("conflicts-dot", "", "write the conflict graph in Graphviz dot syntax to this file")
 	cascadeWindow := fs.Int64("cascade-window", 0, "abort-cascade detection window in simulated cycles (0 = default)")
 	histOut := fs.String("hist", "", "write the hmtx-hist/v1 latency-histogram document to this file")
+	ckptEvery := fs.Int("ckpt-every", 0, "segment the run every N iterations for checkpointing (0 = off; -system hmtx only)")
+	ckptOut := fs.String("ckpt-out", "", "write an hmtx-ckpt/v1 checkpoint to this file at each segment boundary")
+	ckptHalt := fs.Bool("ckpt-halt", false, "halt the run at the first segment boundary (after writing -ckpt-out)")
+	resume := fs.String("resume", "", "resume a halted run from an hmtx-ckpt/v1 checkpoint file")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write an allocation profile to this file on exit")
 	list := fs.Bool("list", false, "list benchmarks and exit")
@@ -126,6 +143,44 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fail := func(format string, a ...any) int {
 		fmt.Fprintf(stderr, "hmtxsim: "+format+"\n", a...)
 		return 1
+	}
+
+	// Resuming adopts the run's identity — benchmark, machine configuration,
+	// paradigm, instruments, segment length — from the checkpoint; flags that
+	// would contradict it are rejected rather than silently ignored.
+	var rdoc *ckpt.Doc
+	if *resume != "" {
+		doc, err := ckpt.ReadFile(*resume)
+		if err != nil {
+			return fail("%v", err)
+		}
+		switch doc.Kind {
+		case ckpt.KindRun:
+		case ckpt.KindExperiments:
+			return fail("%s is an experiment-suite checkpoint; resume it with cmd/experiments -resume", *resume)
+		case ckpt.KindCheck:
+			return fail("%s is a model-checker counterexample; open it with cmd/hmtxdbg", *resume)
+		}
+		rdoc = doc
+		fixed := map[string]bool{"bench": true, "system": true, "paradigm": true,
+			"cores": true, "scale": true, "no-sla": true, "vid-bits": true,
+			"eager-commit": true, "sanitize": true, "ckpt-every": true,
+			"series-window": true, "cascade-window": true}
+		var bad string
+		fs.Visit(func(f *flag.Flag) {
+			if fixed[f.Name] {
+				bad = f.Name
+			}
+		})
+		if bad != "" {
+			return fail("-%s conflicts with -resume: it is fixed by the checkpoint", bad)
+		}
+		rs := doc.Run
+		if rs.System != "hmtx" {
+			return fail("checkpoint records system %q; only hmtx runs are resumable", rs.System)
+		}
+		*bench, *system = rs.Bench, rs.System
+		*cores, *scale = rs.Cores, rs.Scale
 	}
 
 	if *cpuProfile != "" {
@@ -188,10 +243,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 	default:
 		return fail("unknown paradigm %q", *par)
 	}
+	if rdoc != nil {
+		kind = paradigm.Sequential
+		for _, k := range []paradigm.Kind{paradigm.DOALL, paradigm.DOACROSS, paradigm.DSWP, paradigm.PSDSWP} {
+			if k.String() == rdoc.Run.Paradigm {
+				kind = k
+			}
+		}
+		if kind == paradigm.Sequential {
+			return fail("checkpoint records unknown paradigm %q", rdoc.Run.Paradigm)
+		}
+	}
 	switch *system {
 	case "seq", "hmtx", "smtx-min", "smtx-max":
 	default:
 		return fail("unknown system %q", *system)
+	}
+	if (*ckptEvery > 0 || *ckptOut != "" || *ckptHalt || rdoc != nil) && *system != "hmtx" {
+		return fail("checkpointing requires -system hmtx")
+	}
+	if (*ckptOut != "" || *ckptHalt) && *ckptEvery <= 0 && rdoc == nil {
+		return fail("-ckpt-out and -ckpt-halt need -ckpt-every")
 	}
 
 	cfg := engine.DefaultConfig()
@@ -205,8 +277,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return fail("-domains must be >= 1")
 	}
 
+	if rdoc != nil {
+		// Rebuild the checkpointed machine exactly; only the host-side
+		// scheduler choice (-domains, byte-identical by construction) may
+		// differ from the captured configuration.
+		ec := rdoc.Run.EngineCfg
+		ec.Domains = *domains
+		rdoc.Run.EngineCfg = ec
+		cfg = ec
+	}
+
 	seqSys := engine.New(cfg)
-	sys := engine.New(cfg)
+	var sys *engine.System
+	if rdoc != nil {
+		var err error
+		sys, err = ckpt.RestoreRun(rdoc)
+		if err != nil {
+			return fail("%v", err)
+		}
+	} else {
+		sys = engine.New(cfg)
+	}
 
 	// Instrument the system that executes the measured run; the sequential
 	// reference run stays untraced unless it is the measured system.
@@ -246,24 +337,52 @@ func run(args []string, stdout, stderr io.Writer) int {
 		target.Mem.Register(reg, "memsys")
 	}
 
-	if *profText || *profOut != "" || *profFolded != "" {
-		target.SetProf(prof.New())
-	}
-
-	if *seriesOut != "" {
-		// The sampler's validation/commit columns read the profiler's live
-		// buckets, so sampling implies profiling (a pure observer: it does
-		// not change the simulated execution).
-		if !target.Prof().Enabled() {
+	wantProf := *profText || *profOut != "" || *profFolded != "" || *seriesOut != ""
+	wantSeries := *seriesOut != ""
+	wantConflicts := *conflictsOut != "" || *conflictsDOT != ""
+	wantHists := *histOut != ""
+	if rdoc != nil {
+		// RestoreRun reattached exactly the instruments the checkpoint was
+		// taken with; the output flags must ask for the same set, or the
+		// resumed documents could not be byte-identical.
+		for _, in := range []struct {
+			name        string
+			saved, want bool
+		}{
+			{"profiler", rdoc.Run.Prof != nil, wantProf},
+			{"time-series sampler", rdoc.Run.Series != nil, wantSeries},
+			{"conflict recorder", rdoc.Run.Conflicts != nil, wantConflicts},
+			{"latency histograms", rdoc.Run.Hists != nil, wantHists},
+			{"statistics registry", rdoc.Run.ObsHists != nil, reg != nil},
+		} {
+			if in.saved != in.want {
+				if in.saved {
+					return fail("checkpoint was taken with the %s attached; pass the matching output flags to resume", in.name)
+				}
+				return fail("checkpoint was taken without the %s; it cannot be attached mid-run", in.name)
+			}
+		}
+		// The registry's histograms only exist once Register has run, so
+		// their state restores here rather than in ckpt.RestoreRun.
+		if err := ckpt.RestoreObsHists(target, rdoc.Run); err != nil {
+			return fail("%v", err)
+		}
+	} else {
+		if wantProf {
+			// The sampler's validation/commit columns read the profiler's
+			// live buckets, so sampling implies profiling (a pure observer:
+			// it does not change the simulated execution).
 			target.SetProf(prof.New())
 		}
-		target.SetSeries(metrics.NewSampler(*seriesWindow))
-	}
-	if *conflictsOut != "" || *conflictsDOT != "" {
-		target.SetConflicts(metrics.NewRecorder(*cascadeWindow))
-	}
-	if *histOut != "" {
-		target.SetLatHists(metrics.NewLatHists())
+		if wantSeries {
+			target.SetSeries(metrics.NewSampler(*seriesWindow))
+		}
+		if wantConflicts {
+			target.SetConflicts(metrics.NewRecorder(*cascadeWindow))
+		}
+		if wantHists {
+			target.SetLatHists(metrics.NewLatHists())
+		}
 	}
 
 	// Sequential reference for the speedup.
@@ -272,13 +391,39 @@ func run(args []string, stdout, stderr io.Writer) int {
 	seqCycles := paradigm.RunSequential(seqSys, loop)
 
 	var out hmtx.Outcome
+	var ckptErr error
+	var halted bool
 	switch *system {
 	case "seq":
 		out = hmtx.Outcome{Cycles: seqCycles, Iterations: loop.Iters(), Runs: 1}
 	case "hmtx":
 		loop = spec.New(*scale)
-		loop.Setup(sys.Mem)
-		out = hmtx.Run(sys, loop, kind, *cores)
+		opts := hmtx.Options{Every: *ckptEvery}
+		if rdoc != nil {
+			// Memory state was restored; the paradigm contract (all mutable
+			// loop state lives in simulated memory) means no re-Setup.
+			opts.Every, opts.Partial = rdoc.Run.Every, rdoc.Run.Partial
+		} else {
+			loop.Setup(sys.Mem)
+		}
+		if *ckptOut != "" || *ckptHalt {
+			opts.Checkpoint = func(nextIt int, sofar hmtx.Outcome) bool {
+				if *ckptOut != "" {
+					doc := ckpt.CaptureRun(sys, ckpt.RunState{
+						Bench: spec.Name, System: *system, Paradigm: kind.String(),
+						Cores: *cores, Scale: *scale, Every: opts.Every,
+						EngineCfg: cfg, NextIt: nextIt, Partial: sofar,
+					})
+					if err := ckpt.WriteFile(*ckptOut, doc); err != nil {
+						ckptErr = err
+						return true
+					}
+				}
+				halted = *ckptHalt
+				return halted
+			}
+		}
+		out = hmtx.RunOpts(sys, loop, kind, *cores, opts)
 	case "smtx-min":
 		loop = spec.New(*scale)
 		loop.Setup(sys.Mem)
@@ -296,6 +441,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err := traceFile.Close(); err != nil {
 			return fail("closing %s: %v", *traceOut, err)
 		}
+	}
+
+	if ckptErr != nil {
+		return fail("writing checkpoint: %v", ckptErr)
+	}
+	if halted {
+		where := ""
+		if *ckptOut != "" {
+			where = " -> " + *ckptOut
+		}
+		fmt.Fprintf(stdout, "checkpoint: halted at iteration %d%s (continue with -resume)\n",
+			out.Iterations, where)
+		return 0
 	}
 
 	if *domains > 1 {

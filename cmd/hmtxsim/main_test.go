@@ -250,3 +250,104 @@ func TestRunMetricsOutputs(t *testing.T) {
 		t.Errorf("smtx-min validation hist = %+v", hd.Histograms[0].Hists[1])
 	}
 }
+
+// TestCheckpointResumeCLI: a run halted at a mid-run checkpoint and resumed
+// produces byte-identical stdout and output documents to the same segmented
+// run left uninterrupted (the hmtx-ckpt/v1 contract, DESIGN.md §18).
+func TestCheckpointResumeCLI(t *testing.T) {
+	outputs := func(dir string) []string {
+		return []string{
+			"-prof-out", filepath.Join(dir, "prof.json"),
+			"-series", filepath.Join(dir, "series.json"),
+			"-conflicts", filepath.Join(dir, "conflicts.json"),
+			"-hist", filepath.Join(dir, "hist.json"),
+			// The stats registry rides along: its histograms are carried in
+			// the checkpoint's obs_hists and restored after re-registration.
+			"-stats-json", filepath.Join(dir, "stats.json"),
+		}
+	}
+	base := []string{"-bench", "052.alvinn", "-cores", "4", "-ckpt-every", "10"}
+
+	fullDir := t.TempDir()
+	var fullOut, errb bytes.Buffer
+	if code := run(append(append([]string{}, base...), outputs(fullDir)...), &fullOut, &errb); code != 0 {
+		t.Fatalf("full run: exit %d, stderr: %s", code, errb.String())
+	}
+
+	haltDir := t.TempDir()
+	ckptFile := filepath.Join(haltDir, "ckpt.json")
+	var haltOut bytes.Buffer
+	errb.Reset()
+	args := append(append([]string{}, base...), "-ckpt-out", ckptFile, "-ckpt-halt")
+	args = append(args, outputs(haltDir)...)
+	if code := run(args, &haltOut, &errb); code != 0 {
+		t.Fatalf("halted run: exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(haltOut.String(), "checkpoint: halted at iteration 10") {
+		t.Fatalf("halted run output:\n%s", haltOut.String())
+	}
+	if _, err := os.Stat(filepath.Join(haltDir, "prof.json")); !os.IsNotExist(err) {
+		t.Error("halted run should not write output documents")
+	}
+
+	resDir := t.TempDir()
+	var resOut bytes.Buffer
+	errb.Reset()
+	if code := run(append([]string{"-resume", ckptFile}, outputs(resDir)...), &resOut, &errb); code != 0 {
+		t.Fatalf("resumed run: exit %d, stderr: %s", code, errb.String())
+	}
+
+	// stdout embeds the -series path; normalise the directories away before
+	// comparing.
+	norm := func(s, dir string) string { return strings.ReplaceAll(s, dir, "DIR") }
+	if got, want := norm(resOut.String(), resDir), norm(fullOut.String(), fullDir); got != want {
+		t.Errorf("resumed stdout differs from full run:\n--- resumed\n%s\n--- full\n%s", got, want)
+	}
+	for _, name := range []string{"prof.json", "series.json", "conflicts.json", "hist.json", "stats.json"} {
+		full, err := os.ReadFile(filepath.Join(fullDir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := os.ReadFile(filepath.Join(resDir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(full, res) {
+			t.Errorf("%s differs between full and resumed run", name)
+		}
+	}
+}
+
+// TestCheckpointFlagValidation covers the resume/instrument mismatch errors.
+func TestCheckpointFlagValidation(t *testing.T) {
+	dir := t.TempDir()
+	ckptFile := filepath.Join(dir, "ckpt.json")
+	var out, errb bytes.Buffer
+	code := run([]string{"-bench", "052.alvinn", "-cores", "4", "-ckpt-every", "10",
+		"-ckpt-out", ckptFile, "-ckpt-halt",
+		"-hist", filepath.Join(dir, "hist.json")}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("halted run: exit %d, stderr: %s", code, errb.String())
+	}
+
+	for _, tc := range []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"instrument mismatch", []string{"-resume", ckptFile}, "latency histograms"},
+		{"registry mismatch", []string{"-resume", ckptFile, "-hist", filepath.Join(dir, "h3.json"),
+			"-stats-json", filepath.Join(dir, "s3.json")}, "statistics registry"},
+		{"fixed flag", []string{"-resume", ckptFile, "-cores", "8", "-hist", filepath.Join(dir, "h2.json")}, "conflicts with -resume"},
+		{"ckpt on seq", []string{"-bench", "052.alvinn", "-system", "seq", "-ckpt-every", "5"}, "requires -system hmtx"},
+		{"halt without every", []string{"-bench", "052.alvinn", "-ckpt-halt"}, "need -ckpt-every"},
+	} {
+		out.Reset()
+		errb.Reset()
+		if code := run(tc.args, &out, &errb); code == 0 {
+			t.Errorf("%s: want nonzero exit", tc.name)
+		} else if !strings.Contains(errb.String(), tc.want) {
+			t.Errorf("%s: stderr %q does not mention %q", tc.name, errb.String(), tc.want)
+		}
+	}
+}

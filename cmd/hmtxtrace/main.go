@@ -6,7 +6,13 @@
 //
 // Usage:
 //
-//	hmtxtrace [-top N] [-prof profile.json] trace.json
+//	hmtxtrace [-top N] [-from CYC] [-to CYC] [-prof profile.json] trace.json
+//
+// -from and -to restrict every analysis to the simulated-cycle window
+// [from, to] — the way to zoom a long trace onto one abort storm or one
+// commit stall (find the cycle of interest with hmtxdbg, then filter the
+// trace to it). A complete event (tx_commit) is windowed on the cycle it
+// fired, ts+dur.
 //
 // With -prof, the trace-derived ledger is cross-checked against the
 // profile's re-execution records (hmtx-prof/v1, DESIGN.md §13): the two
@@ -52,12 +58,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("hmtxtrace", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	top := fs.Int("top", 10, "number of hottest lines to show")
+	from := fs.Int64("from", 0, "ignore events before this simulated cycle")
+	to := fs.Int64("to", 0, "ignore events after this simulated cycle (0 = end of trace)")
 	profPath := fs.String("prof", "", "hmtx-prof/v1 profile to cross-check per-VID aborted attempts against")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if fs.NArg() != 1 {
-		fmt.Fprintln(stderr, "usage: hmtxtrace [-top N] [-prof profile.json] trace.json")
+		fmt.Fprintln(stderr, "usage: hmtxtrace [-top N] [-from CYC] [-to CYC] [-prof profile.json] trace.json")
+		return 2
+	}
+	if *to > 0 && *to < *from {
+		fmt.Fprintln(stderr, "hmtxtrace: -to is before -from")
 		return 2
 	}
 	fail := func(format string, a ...any) int {
@@ -76,6 +88,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return fail("parsing %s: %v", fs.Arg(0), err)
 	}
 	evs := doc.TraceEvents
+	total := len(evs)
+	if *from > 0 || *to > 0 {
+		var kept []traceEvent
+		for i := range evs {
+			cyc := evs[i].TS
+			if evs[i].Ph == "X" {
+				cyc += evs[i].Dur
+			}
+			if cyc < *from || (*to > 0 && cyc > *to) {
+				continue
+			}
+			kept = append(kept, evs[i])
+		}
+		evs = kept
+		toStr := "end"
+		if *to > 0 {
+			toStr = fmt.Sprintf("%d", *to)
+		}
+		fmt.Fprintf(stdout, "window: cycles %d..%s (%d of %d events)\n", *from, toStr, len(evs), total)
+	}
 
 	// Events per category.
 	perCat := make(map[string]uint64)

@@ -68,6 +68,47 @@ func TestSummarise(t *testing.T) {
 	}
 }
 
+// TestCycleWindow filters the TestSummarise trace (events at cycles 10, 50,
+// 90 and 120; the commit events are complete events windowed on ts+dur, i.e.
+// their commit cycle) down to [40, 100]: the two commits survive, the bus
+// events and aborts do not.
+func TestCycleWindow(t *testing.T) {
+	path := writeTrace(t)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-from", "40", "-to", "100", path}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	s := out.String()
+	for _, want := range []string{
+		"window: cycles 40..100 (2 of 7 events)",
+		"2 events",
+		"mean commit latency (cycles)  50.0",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("windowed summary missing %q:\n%s", want, s)
+		}
+	}
+	for _, reject := range []string{"bus", "aborts: conflict", "0x1000"} {
+		if strings.Contains(s, reject) {
+			t.Errorf("windowed summary still contains %q:\n%s", reject, s)
+		}
+	}
+
+	// An open right edge keeps everything from -from on.
+	out.Reset()
+	if code := run([]string{"-from", "100", path}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "window: cycles 100..end (2 of 7 events)") {
+		t.Errorf("open-ended window wrong:\n%s", out.String())
+	}
+
+	// An inverted window is a usage error.
+	if code := run([]string{"-from", "100", "-to", "40", path}, &out, &errb); code != 2 {
+		t.Errorf("inverted window: exit %d, want 2", code)
+	}
+}
+
 func TestBadInput(t *testing.T) {
 	var out, errb bytes.Buffer
 	if code := run(nil, &out, &errb); code != 2 {

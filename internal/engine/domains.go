@@ -45,11 +45,12 @@ import (
 
 // useRounds reports whether this run executes on the parallel scheduler.
 // Instruments that observe per-operation order on the serial path — the
-// event tracer, MOESI-San (whose touch sets assume one operation at a time)
-// and raw load/store latency histograms — force the serial reference loop.
+// event tracer, an attached debugger hook, MOESI-San (whose touch sets
+// assume one operation at a time) and raw load/store latency histograms —
+// force the serial reference loop.
 func (s *System) useRounds() bool {
-	return s.cfg.Domains > 1 && s.tracer == nil && !s.cfg.Mem.Sanitize &&
-		!s.Mem.HasLatencyHists() && s.cfg.Mem.Quantum() > 0
+	return s.cfg.Domains > 1 && s.tracer == nil && s.debug == nil &&
+		!s.cfg.Mem.Sanitize && !s.Mem.HasLatencyHists() && s.cfg.Mem.Quantum() > 0
 }
 
 // coreKey is the canonical scheduling key: cycle-major, core-ID minor.

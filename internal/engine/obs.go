@@ -61,6 +61,44 @@ func (s *System) Register(r *obs.Registry) {
 	s.histWriteSet = g.Histogram("tx_write_set", "per-transaction write set in bytes", setBounds)
 }
 
+// AddObsHistCkpts adds the engine's registry-histogram state to dst under
+// prefix, for hmtx-ckpt/v1 checkpoints (DESIGN.md §18). A no-op when no
+// registry is attached: the histograms only exist — and only fill — while
+// registered.
+func (s *System) AddObsHistCkpts(prefix string, dst map[string]obs.HistCkpt) {
+	if s.histCommitLat == nil {
+		return
+	}
+	dst[prefix+"commit_latency"] = s.histCommitLat.Ckpt()
+	dst[prefix+"tx_read_set"] = s.histReadSet.Ckpt()
+	dst[prefix+"tx_write_set"] = s.histWriteSet.Ckpt()
+}
+
+// RestoreObsHistCkpts restores the engine's registry-histogram state from a
+// checkpoint. Register must have been called first.
+func (s *System) RestoreObsHistCkpts(prefix string, src map[string]obs.HistCkpt) error {
+	if s.histCommitLat == nil {
+		return fmt.Errorf("engine: RestoreObsHistCkpts before Register")
+	}
+	for _, e := range []struct {
+		name string
+		h    *obs.Histogram
+	}{
+		{"commit_latency", s.histCommitLat},
+		{"tx_read_set", s.histReadSet},
+		{"tx_write_set", s.histWriteSet},
+	} {
+		ck, ok := src[prefix+e.name]
+		if !ok {
+			return fmt.Errorf("engine: checkpoint is missing histogram %s%s", prefix, e.name)
+		}
+		if err := e.h.RestoreCkpt(ck); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Emit records a software-runtime event (e.g. an SMTX validation span) on
 // this program's core, stamped with the core's current cycle. Events of
 // disabled categories cost one branch and are dropped without being built —

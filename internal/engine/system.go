@@ -157,9 +157,14 @@ type System struct {
 	aborting   bool
 	abortCause string
 
-	rng   *rand.Rand
-	stats Stats
-	nLive int
+	rng    *rand.Rand
+	rngSrc *countingSource // rng's underlying source; counts draws (ckpt.go)
+	stats  Stats
+	nLive  int
+
+	// debug is the debugger event hook (ckpt.go); nil when no debugger is
+	// attached. Like the tracer, attaching it forces the serial scheduler.
+	debug func(DebugEvent)
 
 	tracer *obs.Tracer     // nil when tracing is disabled (obs.go)
 	prof   *prof.Collector // nil when profiling is disabled (prof.go)
@@ -189,13 +194,15 @@ type System struct {
 
 // New builds a system; the memory hierarchy is fresh and empty.
 func New(cfg Config) *System {
+	src := newCountingSource(cfg.Seed)
 	s := &System{
 		cfg:     cfg,
 		Mem:     memsys.New(cfg.Mem),
 		queues:  make(map[int]*queue),
 		txs:     make(map[vid.Seq]*txStats),
 		liveSeq: make(map[vid.Seq]int),
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		rng:     rand.New(src),
+		rngSrc:  src,
 	}
 	s.Mem.SetTracker((*sysTracker)(s))
 	for i := 0; i < cfg.Mem.Cores; i++ {
@@ -376,6 +383,9 @@ func (s *System) handle(c *core, r request) {
 	}
 	if s.conflicts.Enabled() {
 		s.conflicts.SetTime(s.cumCycles + c.time)
+	}
+	if s.debug != nil {
+		s.debugEvent(c, r)
 	}
 	if r.kind == reqDone {
 		c.done = true

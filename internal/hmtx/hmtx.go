@@ -42,6 +42,29 @@ type Outcome struct {
 	ExitedEarly bool
 }
 
+// Options controls segmented execution for checkpointing (hmtx-ckpt/v1,
+// DESIGN.md §18). The zero value runs the loop to completion in one sweep,
+// exactly as Run always has.
+type Options struct {
+	// Every, when positive, segments the run: the pipeline executes at most
+	// Every iterations per engine run, returning to the driver — with the
+	// engine fully quiescent (no program goroutines, queues drained by
+	// reset) — at each boundary. Segmentation changes pipeline fill/drain
+	// timing, so outcomes are comparable only between runs using the same
+	// Every; byte-identity of a resumed run is against the checkpointed
+	// run, not against an unsegmented one.
+	Every int
+	// Partial seeds the outcome accumulators when resuming from a
+	// checkpoint: the restored engine already knows the committed frontier,
+	// but cycles/aborts/runs of the pre-checkpoint half live here.
+	Partial Outcome
+	// Checkpoint, when non-nil, is called at every segment boundary with
+	// the next iteration to execute and the outcome so far. Returning true
+	// halts the run at the boundary; the returned Outcome is then partial
+	// (Iterations holds the committed frontier).
+	Checkpoint func(nextIt int, sofar Outcome) (halt bool)
+}
+
 // Run executes the loop speculatively under the given paradigm using the
 // given number of cores and returns the outcome. The system must be fresh
 // (no transactions committed yet); Setup must already have populated
@@ -52,36 +75,78 @@ type Outcome struct {
 // lone transaction (the recovery code of initMTX, §3.1) and restarts the
 // pipeline after it.
 func Run(sys *engine.System, loop paradigm.Loop, kind paradigm.Kind, cores int) Outcome {
+	return RunOpts(sys, loop, kind, cores, Options{})
+}
+
+// RunOpts is Run with segmented-execution options. With a restored system
+// (engine + memory state from a checkpoint) and opts.Partial from the same
+// checkpoint, the continued run is byte-identical to the checkpointed run
+// left uninterrupted: the engine's committed frontier tells the driver where
+// to resume, and the paradigm contract (all mutable loop state lives in
+// simulated memory) guarantees the loop needs no host-side re-setup.
+func RunOpts(sys *engine.System, loop paradigm.Loop, kind paradigm.Kind, cores int, opts Options) Outcome {
 	if kind == paradigm.Sequential {
+		if opts.Every > 0 {
+			panic("hmtx: segmented execution needs a parallel paradigm")
+		}
 		cyc := paradigm.RunSequential(sys, loop)
 		return Outcome{Cycles: cyc, Iterations: loop.Iters(), Runs: 1}
 	}
 	if cores < 2 {
 		panic("hmtx: parallel paradigms need at least 2 cores")
 	}
-	d := &driver{sys: sys, loop: loop, kind: kind, cores: cores}
+	d := &driver{sys: sys, loop: loop, kind: kind, cores: cores, opts: opts}
 	return d.run()
 }
 
 type driver struct {
-	sys     *engine.System
-	loop    paradigm.Loop
-	kind    paradigm.Kind
-	cores   int
+	sys   *engine.System
+	loop  paradigm.Loop
+	kind  paradigm.Kind
+	cores int
+	opts  Options
+
 	exitSeq atomic.Int64
+	// stopped records that a pipeline program ended the loop for a
+	// data-dependent reason (Stage1 returned false) rather than by reaching
+	// its segment's iteration limit. Without it a segment boundary would be
+	// indistinguishable from the loop deciding to stop, and the next
+	// segment would wrongly run more iterations.
+	stopped atomic.Bool
 }
 
 func (d *driver) run() Outcome {
-	var out Outcome
-	startIt := int(d.sys.LastCommitted())
+	out := d.opts.Partial
+	for {
+		startIt := int(d.sys.LastCommitted())
+		endIt := d.loop.Iters()
+		if d.opts.Every > 0 && startIt+d.opts.Every < endIt {
+			endIt = startIt + d.opts.Every
+		}
+		if d.runSegment(startIt, endIt, &out) {
+			return out
+		}
+		if d.opts.Checkpoint != nil {
+			if halt := d.opts.Checkpoint(int(d.sys.LastCommitted()), out); halt {
+				return out
+			}
+		}
+	}
+}
+
+// runSegment executes iterations [startIt, endIt) including any abort
+// recovery, and reports whether the loop as a whole is done (as opposed to
+// having merely reached the segment boundary).
+func (d *driver) runSegment(startIt, endIt int, out *Outcome) bool {
 	for {
 		d.exitSeq.Store(0)
-		res := d.sys.Run(d.programs(startIt))
+		d.stopped.Store(false)
+		res := d.sys.Run(d.programs(startIt, endIt))
 		out.Cycles += res.Cycles
 		out.Runs++
 		if !res.Aborted {
 			out.Iterations = int(res.LastCommitted)
-			return out
+			return d.stopped.Load() || int(res.LastCommitted) >= d.loop.Iters()
 		}
 		out.Aborts++
 		if exit := d.exitSeq.Load(); exit != 0 && vid.Seq(exit) == res.LastCommitted {
@@ -90,14 +155,14 @@ func (d *driver) run() Outcome {
 			// abortMTX(vid+1)); the loop is done.
 			out.ExitedEarly = true
 			out.Iterations = int(res.LastCommitted)
-			return out
+			return true
 		}
 		// Genuine misspeculation: re-execute the first uncommitted
 		// iteration alone, then resume the pipeline after it.
 		it := int(res.LastCommitted)
 		if it >= d.loop.Iters() {
 			out.Iterations = it
-			return out
+			return true
 		}
 		var cont, exit bool
 		res2 := d.sys.Run([]engine.Program{func(e *engine.Env) {
@@ -115,18 +180,24 @@ func (d *driver) run() Outcome {
 		if exit || !cont || it+1 >= d.loop.Iters() {
 			out.Iterations = it + 1
 			out.ExitedEarly = exit
-			return out
+			return true
 		}
 		startIt = it + 1
+		if startIt >= endIt {
+			// Recovery carried the committed frontier to (or past) the
+			// segment boundary; stop here so the checkpoint cadence holds.
+			out.Iterations = startIt
+			return false
+		}
 	}
 }
 
-func (d *driver) programs(startIt int) []engine.Program {
+func (d *driver) programs(startIt, endIt int) []engine.Program {
 	switch d.kind {
 	case paradigm.DSWP:
-		return []engine.Program{d.stage1Prog(startIt), d.stage2Prog()}
+		return []engine.Program{d.stage1Prog(startIt, endIt), d.stage2Prog()}
 	case paradigm.PSDSWP:
-		progs := []engine.Program{d.stage1Prog(startIt)}
+		progs := []engine.Program{d.stage1Prog(startIt, endIt)}
 		for w := 1; w < d.cores; w++ {
 			progs = append(progs, d.stage2Prog())
 		}
@@ -134,13 +205,13 @@ func (d *driver) programs(startIt int) []engine.Program {
 	case paradigm.DOALL:
 		var progs []engine.Program
 		for w := 0; w < d.cores; w++ {
-			progs = append(progs, d.doallProg(startIt, w))
+			progs = append(progs, d.doallProg(startIt, endIt, w))
 		}
 		return progs
 	case paradigm.DOACROSS:
 		var progs []engine.Program
 		for w := 0; w < d.cores; w++ {
-			progs = append(progs, d.doacrossProg(startIt, w))
+			progs = append(progs, d.doacrossProg(startIt, endIt, w))
 		}
 		return progs
 	default:
@@ -151,15 +222,16 @@ func (d *driver) programs(startIt int) []engine.Program {
 // stage1Prog is the sequential pipeline stage: it walks the loop-carried
 // recurrence transaction by transaction, publishing each iteration's input
 // through versioned memory and its VID through the queue (Figure 3(b)).
-func (d *driver) stage1Prog(startIt int) engine.Program {
+func (d *driver) stage1Prog(startIt, endIt int) engine.Program {
 	return func(e *engine.Env) {
-		for it := startIt; it < d.loop.Iters(); it++ {
+		for it := startIt; it < endIt; it++ {
 			seq := vid.Seq(it + 1)
 			e.Begin(seq) // may stall for a VID reset (§4.6)
 			cont := d.loop.Stage1(e, it)
 			e.Begin(0) // done with this transaction, but do not commit
 			e.Produce(qVIDs, uint64(seq))
 			if !cont {
+				d.stopped.Store(true)
 				break
 			}
 		}
@@ -190,9 +262,9 @@ func (d *driver) stage2Prog() engine.Program {
 	}
 }
 
-func (d *driver) doallProg(startIt, w int) engine.Program {
+func (d *driver) doallProg(startIt, endIt, w int) engine.Program {
 	return func(e *engine.Env) {
-		for it := startIt + w; it < d.loop.Iters(); it += d.cores {
+		for it := startIt + w; it < endIt; it += d.cores {
 			seq := vid.Seq(it + 1)
 			e.Begin(seq)
 			d.loop.Stage1(e, it)
@@ -206,10 +278,10 @@ func (d *driver) doallProg(startIt, w int) engine.Program {
 	}
 }
 
-func (d *driver) doacrossProg(startIt, w int) engine.Program {
+func (d *driver) doacrossProg(startIt, endIt, w int) engine.Program {
 	qOf := func(worker int) int { return qTokBase + worker }
 	return func(e *engine.Env) {
-		for it := startIt + w; it < d.loop.Iters(); it += d.cores {
+		for it := startIt + w; it < endIt; it += d.cores {
 			if it > startIt {
 				// Wait for the predecessor iteration's recurrence
 				// (the loop-carried dependence, Figure 1(b)).
@@ -240,6 +312,7 @@ func (d *driver) doacrossProg(startIt, w int) engine.Program {
 				e.Abort(seq + 1)
 			}
 			if !cont {
+				d.stopped.Store(true)
 				return
 			}
 		}

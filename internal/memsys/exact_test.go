@@ -1,0 +1,155 @@
+package memsys
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hmtx/internal/vid"
+)
+
+// exactTestCfg builds a deliberately tiny hierarchy so random stimuli evict
+// constantly and every state class (speculative versions, lazy commits,
+// shadow marks, stale presence bits) shows up in the encoding.
+func exactTestCfg(cores int) Config {
+	cfg := DefaultConfig()
+	cfg.Cores = cores
+	cfg.L1Size = 4 * LineSize
+	cfg.L1Ways = 2
+	cfg.L2Size = 16 * LineSize
+	cfg.L2Ways = 4
+	return cfg
+}
+
+// driveRandom applies n random stimuli (loads, stores, wrong-path loads,
+// forced evictions, commits) to h, tracking the commit frontier so the
+// stimulus stream is legal. Conflicts and overflows are resolved with
+// AbortAll, exactly as the engine would.
+func driveRandom(h *Hierarchy, rng *rand.Rand, n int, lc *vid.V) {
+	cores := h.Config().Cores
+	pool := make([]Addr, 16)
+	for i := range pool {
+		pool[i] = Addr(0x4000 + (i%8)*LineSize + (i/8)*WordSize)
+	}
+	for op := 0; op < n; op++ {
+		core := rng.Intn(cores)
+		addr := pool[rng.Intn(len(pool))]
+		v := *lc + vid.V(1+rng.Intn(3)) // one of the next few uncommitted VIDs
+		var res Result
+		switch rng.Intn(10) {
+		case 0, 1, 2:
+			_, res = h.Load(core, addr, v)
+		case 3, 4, 5:
+			res = h.Store(core, addr, rng.Uint64(), v)
+		case 6:
+			_, res = h.WrongPathLoad(core, addr, v)
+		case 7:
+			_, res = h.Evict(rng.Intn(cores+1), addr)
+		case 8:
+			_, res = h.Load(core, addr, vid.NonSpec)
+		default:
+			if *lc < h.Config().VIDSpace.Max()-4 {
+				*lc++
+				res = h.Commit(*lc)
+			}
+		}
+		if res.Conflict {
+			h.AbortAll()
+		}
+	}
+}
+
+// TestExactRoundTrip is the core checkpoint property: after any stimulus
+// prefix, AppendExact → RestoreExact reproduces a hierarchy that (1) yields
+// the identical exact encoding, (2) has the identical canonical fingerprint,
+// and (3) behaves byte-identically — same stats, same canonical encoding,
+// same exact encoding — as the original under any shared stimulus suffix.
+func TestExactRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := exactTestCfg(2 + rng.Intn(3))
+		h := New(cfg)
+		lc := vid.V(0)
+		driveRandom(h, rng, 40+rng.Intn(80), &lc)
+
+		enc := h.AppendExact(nil)
+		h2 := New(cfg)
+		if err := h2.RestoreExact(enc); err != nil {
+			t.Logf("seed %d: restore: %v", seed, err)
+			return false
+		}
+		if !bytes.Equal(h2.AppendExact(nil), enc) {
+			t.Logf("seed %d: re-encoding differs", seed)
+			return false
+		}
+		addrs := h.Addrs()
+		if h.Fingerprint(addrs) != h2.Fingerprint(addrs) {
+			t.Logf("seed %d: canonical fingerprint differs after restore", seed)
+			return false
+		}
+
+		// Replay an identical suffix on both and require exact agreement.
+		suffix := rng.Int63()
+		lc2 := lc
+		driveRandom(h, rand.New(rand.NewSource(suffix)), 60, &lc)
+		driveRandom(h2, rand.New(rand.NewSource(suffix)), 60, &lc2)
+		if h.stats != h2.stats {
+			t.Logf("seed %d: stats diverged after replay:\n%+v\n%+v", seed, h.stats, h2.stats)
+			return false
+		}
+		if !bytes.Equal(h.AppendExact(nil), h2.AppendExact(nil)) {
+			t.Logf("seed %d: exact state diverged after replay", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(11))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExactRestoreIntoObservedHierarchy checks that a restore composes with
+// attached observers: the restored hierarchy keeps the caller's tracker slot
+// and MOESI-San finds no fault with the restored state.
+func TestExactRestoreSanitized(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cfg := exactTestCfg(4)
+	h := New(cfg)
+	lc := vid.V(0)
+	driveRandom(h, rng, 120, &lc)
+	enc := h.AppendExact(nil)
+
+	cfg2 := cfg
+	cfg2.Sanitize = true
+	h2 := New(cfg2)
+	if err := h2.RestoreExact(enc); err != nil {
+		t.Fatal(err)
+	}
+	if err := h2.CheckInvariants(); err != nil {
+		t.Fatalf("restored state violates MOESI-San invariants: %v", err)
+	}
+}
+
+func TestExactRestoreErrors(t *testing.T) {
+	h := New(exactTestCfg(2))
+	enc := h.AppendExact(nil)
+
+	if err := New(exactTestCfg(2)).RestoreExact(enc[:len(enc)-3]); err == nil {
+		t.Error("truncated encoding: want error")
+	}
+	if err := New(exactTestCfg(2)).RestoreExact(append([]byte(nil), append(enc, 0)...)); err == nil {
+		t.Error("trailing bytes: want error")
+	}
+	if err := New(exactTestCfg(3)).RestoreExact(enc); err == nil {
+		t.Error("core-count mismatch: want geometry error")
+	}
+	small := exactTestCfg(2)
+	small.L1Size = 2 * LineSize
+	if err := New(small).RestoreExact(enc); err == nil {
+		t.Error("L1 geometry mismatch: want geometry error")
+	}
+	if err := New(exactTestCfg(2)).RestoreExact([]byte("not a checkpoint")); err == nil {
+		t.Error("bad magic: want error")
+	}
+}

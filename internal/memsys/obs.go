@@ -57,3 +57,38 @@ func (h *Hierarchy) Register(r *obs.Registry, prefix string) {
 	h.histLoadLat = g.Histogram("load_latency", "load latency in cycles", latencyBounds)
 	h.histStoreLat = g.Histogram("store_latency", "store latency in cycles", latencyBounds)
 }
+
+// AddObsHistCkpts adds the hierarchy's registry-histogram state to dst under
+// prefix, for hmtx-ckpt/v1 checkpoints (DESIGN.md §18). A no-op when no
+// registry is attached.
+func (h *Hierarchy) AddObsHistCkpts(prefix string, dst map[string]obs.HistCkpt) {
+	if h.histLoadLat == nil {
+		return
+	}
+	dst[prefix+"load_latency"] = h.histLoadLat.Ckpt()
+	dst[prefix+"store_latency"] = h.histStoreLat.Ckpt()
+}
+
+// RestoreObsHistCkpts restores the hierarchy's registry-histogram state from
+// a checkpoint. Register must have been called first.
+func (h *Hierarchy) RestoreObsHistCkpts(prefix string, src map[string]obs.HistCkpt) error {
+	if h.histLoadLat == nil {
+		return fmt.Errorf("memsys: RestoreObsHistCkpts before Register")
+	}
+	for _, e := range []struct {
+		name string
+		h    *obs.Histogram
+	}{
+		{"load_latency", h.histLoadLat},
+		{"store_latency", h.histStoreLat},
+	} {
+		ck, ok := src[prefix+e.name]
+		if !ok {
+			return fmt.Errorf("memsys: checkpoint is missing histogram %s%s", prefix, e.name)
+		}
+		if err := e.h.RestoreCkpt(ck); err != nil {
+			return err
+		}
+	}
+	return nil
+}

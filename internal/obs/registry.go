@@ -89,6 +89,34 @@ func (h *Histogram) Mean() float64 {
 	return float64(h.sum) / float64(h.total)
 }
 
+// HistCkpt is a Histogram's recorded contents for hmtx-ckpt/v1 checkpoints
+// (DESIGN.md §18). Bounds are construction-time configuration, not state, so
+// only the sample record is carried; RestoreCkpt validates the bucket count
+// against the receiver's bounds.
+type HistCkpt struct {
+	Counts []uint64 `json:"counts"`
+	Total  uint64   `json:"total,omitempty"`
+	Sum    uint64   `json:"sum,omitempty"`
+}
+
+// Ckpt captures the histogram's recorded samples.
+func (h *Histogram) Ckpt() HistCkpt {
+	ck := HistCkpt{Counts: make([]uint64, len(h.counts)), Total: h.total, Sum: h.sum}
+	copy(ck.Counts, h.counts)
+	return ck
+}
+
+// RestoreCkpt overwrites the recorded samples with a checkpoint taken from a
+// histogram with the same bounds.
+func (h *Histogram) RestoreCkpt(ck HistCkpt) error {
+	if len(ck.Counts) != len(h.counts) {
+		return fmt.Errorf("obs: histogram checkpoint has %d buckets, histogram has %d", len(ck.Counts), len(h.counts))
+	}
+	copy(h.counts, ck.Counts)
+	h.total, h.sum = ck.Total, ck.Sum
+	return nil
+}
+
 func (r *Registry) add(name, desc string, e *entry) *entry {
 	if name == "" {
 		panic("obs: empty stat name")

@@ -33,7 +33,7 @@ type Spec struct {
 	HotLoopPct float64
 	// New constructs the kernel. scale multiplies the iteration count;
 	// scale 1 is the configuration used in EXPERIMENTS.md.
-	New func(scale int) paradigm.Loop
+	New func(scale int) paradigm.Loop `json:"-"`
 }
 
 // All returns the eight benchmarks in the paper's order (Table 1).

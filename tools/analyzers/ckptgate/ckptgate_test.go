@@ -1,0 +1,16 @@
+package ckptgate_test
+
+import (
+	"testing"
+
+	"hmtx/tools/analyzers/analysis/analysistest"
+	"hmtx/tools/analyzers/ckptgate"
+)
+
+func TestCkptgate(t *testing.T) {
+	// sim/internal/engine carries the want comments; other launches
+	// goroutines that checkpoint directly but is out of scope and must stay
+	// silent.
+	analysistest.Run(t, analysistest.TestData(), ckptgate.Analyzer,
+		"sim/internal/engine", "other")
+}

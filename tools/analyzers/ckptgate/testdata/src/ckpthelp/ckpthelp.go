@@ -1,0 +1,19 @@
+// Package ckpthelp is outside the engine/memsys scope but checkpoints: its
+// exported ckpt facts must make calls from scoped goroutines reportable at
+// the call site.
+package ckpthelp
+
+import "hmtx/internal/ckpt"
+
+// Snapshot transitively reaches ckpt.CaptureRun through a local helper, so
+// the exported fact is itself the product of the bottom-up summary.
+func Snapshot() *ckpt.Doc {
+	return capture()
+}
+
+func capture() *ckpt.Doc {
+	return ckpt.CaptureRun()
+}
+
+// Pure does not checkpoint; calls to it from workers must stay silent.
+func Pure(x int64) int64 { return x + 1 }

@@ -1,0 +1,12 @@
+// Package ckpt is a minimal stand-in for hmtx/internal/ckpt: the analyzer
+// matches by package-path suffix, so the fixture only needs the document
+// functions the gate cares about.
+package ckpt
+
+type Doc struct{ Kind string }
+
+func CaptureRun() *Doc { return &Doc{Kind: "run"} }
+
+func WriteFile(path string, doc *Doc) error { return nil }
+
+func ReadFile(path string) (*Doc, error) { return &Doc{}, nil }

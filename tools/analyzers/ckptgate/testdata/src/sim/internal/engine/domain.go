@@ -1,0 +1,104 @@
+// Fixture for ckptgate: the package path ends in internal/engine, so the
+// rule applies. Domain-worker goroutines may buffer records and publish
+// bounds, but checkpoint capture/restore — internal/ckpt calls and the
+// snapshot primitives — must happen on the coordinator at a segment
+// boundary, never on a worker.
+package engine
+
+import (
+	"sync"
+
+	"hmtx/internal/ckpt"
+
+	"ckpthelp"
+)
+
+// hier stands in for the memory hierarchy: the package-path suffix puts its
+// snapshot primitives in the gate's scope.
+type hier struct{ lines []byte }
+
+func (h *hier) AppendExact(buf []byte) []byte { return append(buf, h.lines...) }
+
+func (h *hier) RestoreExact(enc []byte) error {
+	h.lines = append(h.lines[:0], enc...)
+	return nil
+}
+
+type rec struct{ cycles int64 }
+
+type sys struct {
+	mem  *hier
+	recs []rec
+	mu   sync.Mutex
+}
+
+// runRound is the good pattern: workers buffer, the coordinator drains and
+// checkpoints at the boundary.
+func (s *sys) runRound() {
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.workerBuffer(1)
+		}()
+	}
+	wg.Wait()
+	// Boundary: every domain has drained, the machine is in its canonical
+	// serial state — capture here is fine, no diagnostics.
+	doc := ckpt.CaptureRun()
+	_ = ckpt.WriteFile("ckpt.json", doc)
+	_ = s.mem.AppendExact(nil)
+}
+
+// workerBuffer only appends records: no diagnostics.
+func (s *sys) workerBuffer(c int64) {
+	s.mu.Lock()
+	s.recs = append(s.recs, rec{cycles: c})
+	s.mu.Unlock()
+}
+
+// badLiteral checkpoints directly from a goroutine literal.
+func (s *sys) badLiteral() {
+	go func() {
+		doc := ckpt.CaptureRun()       // want `ckpt.CaptureRun called on a domain goroutine`
+		_ = ckpt.WriteFile("mid", doc) // want `ckpt.WriteFile called on a domain goroutine`
+		_ = s.mem.AppendExact(nil)     // want `engine.AppendExact called on a domain goroutine`
+	}()
+}
+
+// badWorker is entered via a go statement below; its effects are flagged
+// even though the go statement is elsewhere.
+func (s *sys) badWorker() {
+	s.restoreHelper(nil)
+}
+
+// restoreHelper is reached transitively from the goroutine entry.
+func (s *sys) restoreHelper(enc []byte) {
+	_ = s.mem.RestoreExact(enc) // want `engine.RestoreExact called on a domain goroutine`
+}
+
+func (s *sys) launch() {
+	go s.badWorker()
+}
+
+// snapHelper is reached only through the method value passed as a goroutine
+// argument in hiddenDispatch — a syntactic walk would miss this.
+func (s *sys) snapHelper() {
+	_ = ckpt.WriteFile("late", nil) // want `ckpt.WriteFile called on a domain goroutine`
+}
+
+func (s *sys) hiddenDispatch() {
+	go runFn(s.snapHelper)
+}
+
+func runFn(f func()) { f() }
+
+// crossPackage launders the capture through an out-of-package helper; the
+// helper's ckpt fact surfaces it at the call site.
+func (s *sys) crossPackage(k int64) {
+	go func() {
+		_ = ckpthelp.Pure(k)
+		_ = ckpthelp.Snapshot() // want `ckpthelp.Snapshot checkpoints \(ckpt.CaptureRun\) when called on a domain goroutine`
+	}()
+}

@@ -7,6 +7,14 @@
 // key-indexed copies, deletes keyed by the range key, and integer
 // accumulation — and asks for everything else to iterate a sorted key slice.
 //
+// Since v2 it also permits the idiom that *builds* that sorted key slice: a
+// loop whose body only appends the range key (or a conversion of it) to a
+// local slice, immediately followed by a sort of that slice. The randomness
+// dies in the sort — keys are distinct, so even an unstable sort yields one
+// deterministic order. The allowance is keys-only: collected *values* may
+// contain sort-equal elements whose final order would still be the
+// iteration order.
+//
 // Test files are exempt: they only talk to testing.T, which tolerates
 // unordered reporting and cannot feed state back into a simulation run.
 package detrange
@@ -22,9 +30,10 @@ import (
 )
 
 var Analyzer = &analysis.Analyzer{
-	Name: "detrange",
-	Doc:  "flags map iteration with order-sensitive bodies in simulation packages",
-	Run:  run,
+	Name:    "detrange",
+	Doc:     "flags map iteration with order-sensitive bodies in simulation packages",
+	Version: "2",
+	Run:     run,
 }
 
 func run(pass *analysis.Pass) (any, error) {
@@ -35,6 +44,7 @@ func run(pass *analysis.Pass) (any, error) {
 		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
 			continue
 		}
+		next := nextStmts(file)
 		ast.Inspect(file, func(n ast.Node) bool {
 			rs, ok := n.(*ast.RangeStmt)
 			if !ok {
@@ -50,11 +60,136 @@ func run(pass *analysis.Pass) (any, error) {
 			if orderInsensitive(pass, rs) {
 				return true
 			}
+			if collectThenSort(pass, rs, next[rs]) {
+				return true
+			}
 			pass.Reportf(rs.For, "range over map has an order-sensitive body; iterate a sorted key slice to keep runs deterministic")
 			return true
 		})
 	}
 	return nil, nil
+}
+
+// nextStmts maps each statement to the statement that follows it in its
+// enclosing statement list, so a range loop can be judged together with
+// what runs right after it.
+func nextStmts(file *ast.File) map[ast.Stmt]ast.Stmt {
+	next := map[ast.Stmt]ast.Stmt{}
+	record := func(list []ast.Stmt) {
+		for i := 0; i+1 < len(list); i++ {
+			next[list[i]] = list[i+1]
+		}
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			record(n.List)
+		case *ast.CaseClause:
+			record(n.Body)
+		case *ast.CommClause:
+			record(n.Body)
+		}
+		return true
+	})
+	return next
+}
+
+// collectThenSort reports whether rs is the sorted-key-slice builder the
+// finding message recommends: the body only appends the range key (possibly
+// through a type conversion) to a local slice, and the very next statement
+// sorts that slice. The map's random order is then unobservable — keys are
+// distinct, so the sorted result is unique.
+func collectThenSort(pass *analysis.Pass, rs *ast.RangeStmt, after ast.Stmt) bool {
+	key, _ := rs.Key.(*ast.Ident)
+	if key == nil || !isBlank(rs.Value) {
+		return false
+	}
+	if len(rs.Body.List) != 1 {
+		return false
+	}
+	as, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	dst, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 || call.Ellipsis != token.NoPos {
+		return false
+	}
+	if fn, ok := call.Fun.(*ast.Ident); !ok {
+		return false
+	} else if b, ok := pass.TypesInfo.Uses[fn].(*types.Builtin); !ok || b.Name() != "append" {
+		return false
+	}
+	base, ok := call.Args[0].(*ast.Ident)
+	if !ok || identObj(pass, base) == nil || identObj(pass, base) != identObj(pass, dst) {
+		return false
+	}
+	appended := ast.Unparen(call.Args[1])
+	if conv, ok := appended.(*ast.CallExpr); ok && len(conv.Args) == 1 {
+		if tv, ok := pass.TypesInfo.Types[conv.Fun]; ok && tv.IsType() {
+			appended = ast.Unparen(conv.Args[0])
+		}
+	}
+	if !isIdent(pass, appended, key) {
+		return false
+	}
+	return sortsSlice(pass, after, identObj(pass, dst))
+}
+
+// sortsSlice reports whether stmt is a call to a stdlib sorting function
+// whose collection argument is the variable obj.
+func sortsSlice(pass *analysis.Pass, stmt ast.Stmt, obj types.Object) bool {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok || obj == nil {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "sort":
+		switch fn.Name() {
+		case "Sort", "Stable", "Slice", "SliceStable", "Strings", "Ints", "Float64s":
+		default:
+			return false
+		}
+	case "slices":
+		if !strings.HasPrefix(fn.Name(), "Sort") {
+			return false
+		}
+	default:
+		return false
+	}
+	arg, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	return ok && identObj(pass, arg) == obj
+}
+
+func isBlank(e ast.Expr) bool {
+	if e == nil {
+		return true
+	}
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+func identObj(pass *analysis.Pass, id *ast.Ident) types.Object {
+	if o := pass.TypesInfo.Uses[id]; o != nil {
+		return o
+	}
+	return pass.TypesInfo.Defs[id]
 }
 
 // orderInsensitive reports whether every statement in the loop body commutes

@@ -1,5 +1,7 @@
 package rangedet
 
+import "sort"
+
 // Order-sensitive bodies: each of these observes map iteration order.
 
 func collectKeys(counts map[string]int) []string {
@@ -62,4 +64,47 @@ func census(m map[string]int) int {
 		n++
 	}
 	return n
+}
+
+// Collect-then-sort (v2): building the sorted key slice the finding message
+// recommends is allowed when the very next statement sorts the collection.
+
+func sortedKeys(counts map[string]int) []string {
+	keys := make([]string, 0, len(counts))
+	for k := range counts { // collect + immediate sort: allowed
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortedConvertedKeys(m map[uint32]int) []uint64 {
+	out := make([]uint64, 0, len(m))
+	for k := range m { // conversion of the key is still just the key
+		out = append(out, uint64(k))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func collectThenSortOther(m map[int]int) []int {
+	var a, b []int
+	for k := range m { // want `range over map has an order-sensitive body`
+		a = append(a, k)
+	}
+	sort.Ints(b) // sorts the wrong slice: a keeps iteration order
+	a = append(a, b...)
+	return a
+}
+
+func collectValuesSorted(m map[int]string) []string {
+	var vs []string
+	for _, v := range m { // want `range over map has an order-sensitive body`
+		vs = append(vs, v)
+	}
+	// Values are not keys: with a partial comparison (sort.Slice is
+	// unstable) equal elements would keep their iteration order, so the
+	// allowance is keys-only.
+	sort.Strings(vs)
+	return vs
 }
